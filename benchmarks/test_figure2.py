@@ -1,0 +1,76 @@
+"""Figure 2: delay erasing expired keys vs. total database size.
+
+Paper (lazy Redis expiry): 41 s at 1k keys doubling roughly with size to
+10,728 s at 128k keys; their modified (full-scan) expiry erases within
+sub-second latency for up to 1M keys.
+"""
+
+import pytest
+from conftest import FULL_SWEEP, write_result
+
+from repro.bench.figure2 import (
+    PAPER_LAZY_SECONDS,
+    doubling_ratios,
+    figure2_table,
+    measure_erasure_delay,
+    run_figure2,
+)
+
+SIZES = (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000) \
+    if FULL_SWEEP else (1_000, 2_000, 4_000, 8_000, 16_000)
+
+
+def test_figure2_lazy_vs_fullscan(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_figure2(sizes=SIZES,
+                            strategies=("lazy", "fullscan")),
+        rounds=1, iterations=1)
+    table = figure2_table(results)
+    write_result(results_dir, "figure2.txt", table)
+    lazy = results["lazy"]
+    fullscan = results["fullscan"]
+    # Lazy erasure delay is minutes-to-hours and grows with size.
+    assert lazy[0].erase_seconds > 5.0
+    assert lazy[-1].erase_seconds > lazy[0].erase_seconds * 4
+    # Roughly linear growth: each doubling costs ~2x (paper shape).
+    ratios = [r for _, r in doubling_ratios(lazy)]
+    for ratio in ratios:
+        assert 1.0 <= ratio <= 5.0
+    # Same order of magnitude as the paper's measured seconds.
+    for measurement in lazy:
+        paper = PAPER_LAZY_SECONDS[measurement.total_keys]
+        assert paper / 4 <= measurement.erase_seconds <= paper * 4
+    # The modified expiry erases everything within one second.
+    for measurement in fullscan:
+        assert measurement.erase_seconds < 1.0
+    benchmark.extra_info["table"] = table
+
+
+def test_figure2_lazy_1k_point(benchmark):
+    m = benchmark.pedantic(lambda: measure_erasure_delay(1_000, "lazy"),
+                           rounds=1, iterations=1)
+    benchmark.extra_info["erase_seconds"] = round(m.erase_seconds, 1)
+    benchmark.extra_info["paper_seconds"] = PAPER_LAZY_SECONDS[1_000]
+    assert m.completed
+
+
+def test_figure2_fullscan_sub_second_large(benchmark):
+    size = 1_000_000 if FULL_SWEEP else 100_000
+    m = benchmark.pedantic(
+        lambda: measure_erasure_delay(size, "fullscan"),
+        rounds=1, iterations=1)
+    benchmark.extra_info["keys"] = size
+    benchmark.extra_info["erase_seconds"] = round(m.erase_seconds, 4)
+    assert m.completed
+    assert m.erase_seconds < 1.0  # the paper's sub-second claim
+
+
+def test_figure2_indexed_strategy_extension(benchmark):
+    """Section 5.1's research direction: an expiry index erases as fast
+    as the full scan without paying O(n) per cycle."""
+    m = benchmark.pedantic(
+        lambda: measure_erasure_delay(50_000, "indexed"),
+        rounds=1, iterations=1)
+    assert m.completed
+    assert m.erase_seconds < 1.0
+    benchmark.extra_info["erase_seconds"] = round(m.erase_seconds, 4)

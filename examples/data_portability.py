@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Art. 20 (data portability) and Art. 46 (residency) together.
+
+Alice exports her data and has it transmitted directly to a second
+controller; a transfer to a non-adequate region is blocked unless her
+records explicitly whitelist it.
+
+Run with::
+
+    python examples/data_portability.py
+"""
+
+from repro import GDPRConfig, GDPRMetadata, GDPRStore, SimClock
+from repro.common.errors import LocationViolationError
+from repro.gdpr import right_to_portability
+from repro.gdpr.rights import transfer_subject
+from repro.kvstore import KeyValueStore, StoreConfig
+
+
+def build_store(node_id: str, region: str) -> GDPRStore:
+    kv = KeyValueStore(StoreConfig(appendonly=True), clock=SimClock())
+    return GDPRStore(kv=kv, config=GDPRConfig(node_id=node_id,
+                                              region=region))
+
+
+def main() -> None:
+    source = build_store("controller-a", "eu-west")
+    source.put("alice:profile", b'{"plan": "premium"}',
+               GDPRMetadata(owner="alice",
+                            purposes=frozenset({"service"})))
+    source.put("alice:history", b'["2026-01", "2026-02"]',
+               GDPRMetadata(owner="alice",
+                            purposes=frozenset({"service"})))
+
+    # 1. Export in a commonly used format.
+    export_json = right_to_portability(source, "alice", fmt="json")
+    print("JSON export:")
+    print(export_json.decode())
+    print()
+    print("CSV export:")
+    print(right_to_portability(source, "alice", fmt="csv").decode())
+
+    # 2. Direct transmission to another controller (EU -> EU: fine).
+    target_eu = build_store("controller-b", "eu-central")
+    moved = transfer_subject(source, target_eu, "alice")
+    print(f"transferred {moved} records to controller-b (eu-central)")
+    print(f"controller-b now holds: "
+          f"{target_eu.keys_of_subject('alice')}")
+    print(f"source records now note the recipient: "
+          f"{sorted(source.get('alice:profile').metadata.shared_with)}")
+
+    # 3. A transfer to a region without an adequacy decision is blocked
+    #    (Art. 46) because Alice's records do not whitelist it.
+    target_us = build_store("controller-us", "us-east")
+    try:
+        transfer_subject(source, target_us, "alice")
+    except LocationViolationError as exc:
+        print(f"\nUS transfer blocked: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660 editable
+installs require, so this project keeps a classic ``setup.py`` and omits the
+``[build-system]`` table from pyproject.toml: ``pip install -e .`` then uses
+the legacy ``setup.py develop`` path, which works offline.  All metadata
+lives in pyproject.toml's ``[project]`` table.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,152 @@
+"""Regenerate every paper artifact from the command line.
+
+Usage::
+
+    python -m repro.bench                 # everything, default scale
+    python -m repro.bench figure1 table1  # a subset
+    python -m repro.bench --records 1000 --ops 5000 figure1
+    python -m repro.bench --full figure2  # the 1k..128k sweep + 1M point
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ablation import (
+    audit_batch_sweep,
+    device_sweep,
+    encryption_split,
+    fsync_policy_sweep,
+    gdpr_slowdown,
+)
+from .figure1 import figure1_table, run_figure1, run_fsync_comparison
+from .figure2 import figure2_table, measure_erasure_delay, run_figure2
+from .micro import (
+    compare_logging_mechanisms,
+    deleted_data_persistence,
+    measure_channel_bandwidth,
+)
+from .reporting import render_table
+from .table1 import build_comparison_text, headline_statistics
+
+
+def _print_header(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def run_table1(args: argparse.Namespace) -> None:
+    _print_header("Table 1 -- GDPR articles -> storage features "
+                  "(+ compliance verdicts)")
+    print(build_comparison_text())
+    stats = headline_statistics()
+    print(f"\nstorage-related articles: "
+          f"{stats['storage_related_articles']}/"
+          f"{stats['total_articles']} "
+          f"({stats['storage_share']:.1%})")
+
+
+def run_fig1(args: argparse.Namespace) -> None:
+    _print_header("Figure 1 -- YCSB throughput "
+                  "(unmodified / AOF w/ sync / LUKS+TLS)")
+    results = run_figure1(record_count=args.records,
+                          operation_count=args.ops)
+    print(figure1_table(results))
+    print("\nsection 4.1 fsync comparison:")
+    throughputs = run_fsync_comparison(args.records, args.ops)
+    base = throughputs["unmodified"]
+    print(render_table(["config", "ops/s", "fraction"],
+                       [[k, round(v, 1), round(v / base, 3)]
+                        for k, v in throughputs.items()]))
+
+
+def run_fig2(args: argparse.Namespace) -> None:
+    _print_header("Figure 2 -- erasure delay of expired keys")
+    sizes = ((1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000,
+              128_000) if args.full
+             else (1_000, 2_000, 4_000, 8_000))
+    print(figure2_table(run_figure2(sizes=sizes)))
+    if args.full:
+        point = measure_erasure_delay(1_000_000, "fullscan")
+        print(f"\nfullscan @ 1M keys: {point.erase_seconds:.3f} s "
+              "(paper: sub-second)")
+
+
+def run_micro(args: argparse.Namespace) -> None:
+    _print_header("Micro-benchmarks (sections 4.1-4.3)")
+    print("logging mechanisms (YCSB-A ops/s):")
+    print(render_table(["mechanism", "ops/s"],
+                       [[k, round(v, 1)] for k, v in
+                        compare_logging_mechanisms(
+                            args.records, args.ops).items()]))
+    print("\nchannel bandwidth (Gb/s):")
+    print(render_table(["path", "Gb/s"],
+                       [[k, round(v, 2)] for k, v in
+                        measure_channel_bandwidth().items()]))
+    probe = deleted_data_persistence()
+    print(f"\ndeleted key in AOF after DEL: {probe.in_aof_after_delete}; "
+          f"purged after {probe.seconds_until_purged:.0f} s "
+          "(hourly rewrite)")
+
+
+def run_ablations(args: argparse.Namespace) -> None:
+    _print_header("Ablations")
+    print("fsync policies (YCSB-A ops/s):")
+    print(render_table(["policy", "ops/s"],
+                       [[k, round(v, 1)] for k, v in
+                        fsync_policy_sweep(args.records,
+                                           args.ops).items()]))
+    print("\naudit batch interval:")
+    rows = audit_batch_sweep(record_count=args.records // 2,
+                             operation_count=args.ops // 2)
+    print(render_table(
+        ["interval_s", "ops/s", "at_risk", "worst_case"],
+        [[r["interval_s"], round(r["throughput"], 1),
+          int(r["records_at_risk"]), int(r["worst_case_exposure"])]
+         for r in rows]))
+    print("\ndevice classes at fsync-always:")
+    print(render_table(["device", "ops/s"],
+                       [[k, round(v, 1)] for k, v in
+                        device_sweep(args.records, args.ops).items()]))
+    print("\nencryption split:")
+    print(render_table(["config", "ops/s"],
+                       [[k, round(v, 1)] for k, v in
+                        encryption_split(args.records,
+                                         args.ops).items()]))
+    print("\nheadline slowdowns:")
+    results = gdpr_slowdown(args.records // 2, args.ops // 2)
+    print(render_table(["metric", "value"],
+                       [[k, round(v, 2)] for k, v in results.items()]))
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "figure1": run_fig1,
+    "figure2": run_fig2,
+    "micro": run_micro,
+    "ablations": run_ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="subset to run (default: all)")
+    parser.add_argument("--records", type=int, default=300,
+                        help="YCSB records per phase")
+    parser.add_argument("--ops", type=int, default=800,
+                        help="YCSB operations per phase")
+    parser.add_argument("--full", action="store_true",
+                        help="full Figure 2 sweep (slow)")
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    for name in selected:
+        EXPERIMENTS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Calibrated simulated-time constants and system factories.
+
+Every constant below has a physical derivation; together they make the
+simulated stack land near the paper's absolute numbers so that its *ratios*
+(5%, 30%, 6x, 20x) emerge from mechanism:
+
+``BASE_COMMAND_CPU`` (25 us)
+    Server-side CPU per command.  With the raw-channel round trip
+    (2 x 10 us one-way) this puts the unmodified store at ~22 kops/s --
+    the paper's Figure 1 baseline on a quad-core Xeon 2.8 GHz.
+
+``RAW_ONE_WAY_LATENCY`` (10 us)
+    Loopback/ToR one-way latency between YCSB and the store.
+
+``AOF_RECORD_BASE_COST`` (75 us) and ``AOF_RECORD_PER_BYTE`` (30 ns/B)
+    End-to-end cost of pushing one record down the AOF pipeline:
+    serialization, write(2), kernel copy, filesystem journal interference,
+    and amortized bio-thread fsync stalls.  Calibrated against the paper's
+    measured everysec point (throughput ~30% of baseline when every
+    interaction, reads included, is logged).  Given this anchor, the
+    *always* policy lands at ~5% purely because each op additionally pays
+    the device fsync (INTEL_750_SSD.fsync = 0.8 ms), and intermediate
+    batch intervals interpolate -- those ratios are emergent.
+
+TLS/proxy constants live in :mod:`repro.net` (bandwidth 44 -> 4.9 Gb/s and
+2 x 30 us proxy traversals are the paper's own measurements); LUKS crypto
+throughput lives in :mod:`repro.device.luks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.clock import SimClock
+from ..device.append_log import AppendLog
+from ..device.block_device import SimulatedBlockDevice
+from ..device.latency import INTEL_750_SSD, LatencyModel
+from ..device.luks import LuksVolume
+from ..kvstore.server import StoreClient, connect_plain, connect_tls
+from ..kvstore.store import KeyValueStore, StoreConfig
+from ..net.channel import Channel, RAW_BANDWIDTH_BPS
+from ..net.tls import stunnel_channel
+from ..ycsb.adapters import ClientAdapter, KVAdapter, StorageAdapter
+
+BASE_COMMAND_CPU = 25e-6
+RAW_ONE_WAY_LATENCY = 10e-6
+AOF_RECORD_BASE_COST = 75e-6
+AOF_RECORD_PER_BYTE = 30e-9
+
+TLS_PSK = b"repro-figure1-psk"
+
+
+@dataclass
+class SystemUnderTest:
+    """A configured stack plus the handles benchmarks need."""
+
+    name: str
+    clock: SimClock
+    store: KeyValueStore
+    adapter: StorageAdapter
+    client: Optional[StoreClient] = None
+    channel: Optional[Channel] = None
+    luks: Optional[LuksVolume] = None
+
+    def maybe_snapshot_to_luks(self) -> int:
+        """Model periodic BGSAVE onto the encrypted volume.
+
+        Returns bytes written; 0 when the config has no LUKS volume.  In
+        the paper's LUKS+TLS configuration Redis persists via its default
+        snapshotting onto the dm-crypt device; the per-byte crypto cost is
+        charged here.
+        """
+        if self.luks is None:
+            return 0
+        data = self.store.save_snapshot()
+        if len(data) > self.luks.capacity:
+            return 0
+        self.luks.write(0, data)
+        self.luks.flush()
+        return len(data)
+
+
+def make_unmodified(clock: Optional[SimClock] = None,
+                    seed: int = 0) -> SystemUnderTest:
+    """Baseline: no AOF, plaintext channel -- Figure 1 'Unmodified'."""
+    clock = clock if clock is not None else SimClock()
+    store = KeyValueStore(
+        StoreConfig(command_cpu_cost=BASE_COMMAND_CPU, seed=seed),
+        clock=clock)
+    channel = Channel(clock=clock, bandwidth_bps=RAW_BANDWIDTH_BPS,
+                      latency=RAW_ONE_WAY_LATENCY)
+    client = connect_plain(store, channel)
+    return SystemUnderTest(name="unmodified", clock=clock, store=store,
+                           adapter=ClientAdapter(client), client=client,
+                           channel=channel)
+
+
+def make_aof_sync(clock: Optional[SimClock] = None,
+                  appendfsync: str = "everysec",
+                  log_reads: bool = True,
+                  device: LatencyModel = INTEL_750_SSD,
+                  seed: int = 0) -> SystemUnderTest:
+    """Figure 1 'AOF w/ sync': every interaction logged to the AOF.
+
+    ``appendfsync='always'`` is the strict real-time configuration the
+    text reports at ~5% of baseline; ``'everysec'`` is the plotted ~30%.
+    """
+    clock = clock if clock is not None else SimClock()
+    aof_log = AppendLog(clock=clock, latency=device)
+    store = KeyValueStore(
+        StoreConfig(command_cpu_cost=BASE_COMMAND_CPU,
+                    appendonly=True, appendfsync=appendfsync,
+                    aof_log_reads=log_reads,
+                    aof_record_base_cost=AOF_RECORD_BASE_COST,
+                    aof_record_per_byte_cost=AOF_RECORD_PER_BYTE,
+                    seed=seed),
+        clock=clock, aof_log=aof_log)
+    channel = Channel(clock=clock, bandwidth_bps=RAW_BANDWIDTH_BPS,
+                      latency=RAW_ONE_WAY_LATENCY)
+    client = connect_plain(store, channel)
+    name = f"aof-{appendfsync}" + ("" if log_reads else "-writesonly")
+    return SystemUnderTest(name=name, clock=clock, store=store,
+                           adapter=ClientAdapter(client), client=client,
+                           channel=channel)
+
+
+def make_luks_tls(clock: Optional[SimClock] = None,
+                  volume_mb: int = 64,
+                  seed: int = 0) -> SystemUnderTest:
+    """Figure 1 'LUKS + TLS': encrypted at rest and in transit.
+
+    The wire goes through the stunnel-characterized channel (bandwidth
+    collapsed to 4.9 Gb/s, two proxy traversals per message) with the
+    TLS record layer on both ends; persistence lands on a LUKS volume.
+    """
+    clock = clock if clock is not None else SimClock()
+    store = KeyValueStore(
+        StoreConfig(command_cpu_cost=BASE_COMMAND_CPU, seed=seed),
+        clock=clock)
+    device = SimulatedBlockDevice(volume_mb << 20, clock=clock,
+                                  latency=INTEL_750_SSD)
+    luks = LuksVolume(device, b"figure1-passphrase")
+    channel = stunnel_channel(clock, latency=RAW_ONE_WAY_LATENCY)
+    client = connect_tls(store, channel, TLS_PSK, clock=clock)
+    return SystemUnderTest(name="luks+tls", clock=clock, store=store,
+                           adapter=ClientAdapter(client), client=client,
+                           channel=channel, luks=luks)
+
+
+def make_inprocess(clock: Optional[SimClock] = None,
+                   config: Optional[StoreConfig] = None,
+                   seed: int = 0) -> SystemUnderTest:
+    """A store driven in-process (no network) -- for micro-benchmarks."""
+    clock = clock if clock is not None else SimClock()
+    if config is None:
+        config = StoreConfig(command_cpu_cost=BASE_COMMAND_CPU, seed=seed)
+    store = KeyValueStore(config, clock=clock)
+    return SystemUnderTest(name="inprocess", clock=clock, store=store,
+                           adapter=KVAdapter(store))
+
+
+FIGURE1_CONFIGS: Tuple[str, ...] = ("unmodified", "aof-everysec",
+                                    "luks+tls")
+
+
+def make_figure1_system(config: str,
+                        clock: Optional[SimClock] = None,
+                        seed: int = 0) -> SystemUnderTest:
+    if config == "unmodified":
+        return make_unmodified(clock, seed=seed)
+    if config in ("aof-everysec", "aof w/ sync"):
+        return make_aof_sync(clock, appendfsync="everysec", seed=seed)
+    if config == "aof-always":
+        return make_aof_sync(clock, appendfsync="always", seed=seed)
+    if config == "luks+tls":
+        return make_luks_tls(clock, seed=seed)
+    raise ValueError(f"unknown Figure 1 configuration {config!r}")

@@ -1,0 +1,154 @@
+"""Figure 2: delay in erasing expired keys vs. database size.
+
+The paper's experiment: populate the store so that 20% of keys expire in
+5 minutes (short-term) and 80% in 5 days; once the 5 minutes elapse,
+measure how long Redis takes to actually erase the short-term keys.
+
+Under the faithful port of Redis 4.0's lazy probabilistic expiry the time
+grows roughly linearly with total keys (the sampler deletes ~20 x
+expired-fraction keys per 100 ms tick and the fraction decays), matching
+the paper's 41 s at 1k keys -> ~3 h at 128k keys.  The paper's modified
+full-scan expiry (and the indexed strategy from section 5.1) erase
+everything within one cron tick: sub-second up to 1M keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.clock import SimClock
+from ..kvstore.store import KeyValueStore, StoreConfig
+from .reporting import render_table
+
+SHORT_TTL = 300.0          # 5 minutes
+LONG_TTL = 5 * 86400.0     # 5 days
+SHORT_FRACTION = 0.2
+
+# Paper's measured erasure delays (seconds) for the lazy strategy.
+PAPER_LAZY_SECONDS = {
+    1_000: 41.0, 2_000: 94.0, 4_000: 256.0, 8_000: 511.0,
+    16_000: 1090.0, 32_000: 2228.0, 64_000: 4830.0, 128_000: 10728.0,
+}
+
+DEFAULT_SIZES = (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000,
+                 128_000)
+
+
+@dataclass
+class ErasureMeasurement:
+    total_keys: int
+    short_keys: int
+    strategy: str
+    erase_seconds: float      # last short-term key gone, after expiry
+    cycles: int
+    completed: bool           # False if the safety cap was hit
+
+
+def populate_expiring(store: KeyValueStore, total_keys: int,
+                      short_fraction: float = SHORT_FRACTION,
+                      short_ttl: float = SHORT_TTL,
+                      long_ttl: float = LONG_TTL) -> int:
+    """Bulk-load ``total_keys`` with the paper's TTL mix.
+
+    Uses the direct keyspace API (the loader fast-path) so benchmark time
+    is spent measuring expiry, not command dispatch.  Returns the number
+    of short-term keys.
+    """
+    db = store.databases[0]
+    now = store.clock.now()
+    short_keys = int(total_keys * short_fraction)
+    for i in range(total_keys):
+        key = f"key:{i:08d}".encode("ascii")
+        db.set_value(key, b"x" * 8)
+        ttl = short_ttl if i < short_keys else long_ttl
+        store.set_key_expiry(db, key, now + ttl)
+    return short_keys
+
+
+def measure_erasure_delay(total_keys: int, strategy: str = "lazy",
+                          hz: int = 10, seed: int = 0,
+                          sim_cap: float = 86400.0,
+                          short_fraction: float = SHORT_FRACTION,
+                          short_ttl: float = SHORT_TTL,
+                          long_ttl: float = LONG_TTL
+                          ) -> ErasureMeasurement:
+    """One point of Figure 2.
+
+    Runs the cron loop in simulated time until every short-term key is
+    erased (or ``sim_cap`` simulated seconds pass) and reports the delay
+    beyond the expiry instant.
+    """
+    clock = SimClock()
+    store = KeyValueStore(
+        StoreConfig(expiry_strategy=strategy, hz=hz, seed=seed),
+        clock=clock)
+    short_keys = populate_expiring(store, total_keys, short_fraction,
+                                   short_ttl, long_ttl)
+    last_erasure: List[float] = [0.0]
+
+    def listener(db_index: int, key: bytes, reason: str,
+                 when: float) -> None:
+        last_erasure[0] = when
+
+    store.add_deletion_listener(listener)
+    # Jump to the expiry boundary; nothing can expire before it.
+    clock.advance(short_ttl + 1e-3)
+    expiry_instant = short_ttl
+    tick = 1.0 / hz
+    cycles = 0
+    completed = True
+    while store.stats.expired_keys < short_keys:
+        if clock.now() - expiry_instant > sim_cap:
+            completed = False
+            break
+        store.cron(clock.now())
+        cycles += 1
+        if store.stats.expired_keys >= short_keys:
+            break
+        clock.advance(tick)
+    erase_seconds = (last_erasure[0] - expiry_instant if completed
+                     else clock.now() - expiry_instant)
+    return ErasureMeasurement(
+        total_keys=total_keys, short_keys=short_keys, strategy=strategy,
+        erase_seconds=erase_seconds, cycles=cycles, completed=completed)
+
+
+def run_figure2(sizes: Sequence[int] = DEFAULT_SIZES,
+                strategies: Sequence[str] = ("lazy", "fullscan"),
+                seed: int = 0
+                ) -> Dict[str, List[ErasureMeasurement]]:
+    """The full figure: erasure delay per size, per strategy."""
+    return {
+        strategy: [measure_erasure_delay(size, strategy=strategy,
+                                         seed=seed)
+                   for size in sizes]
+        for strategy in strategies
+    }
+
+
+def figure2_table(results: Dict[str, List[ErasureMeasurement]]) -> str:
+    strategies = list(results)
+    sizes = [m.total_keys for m in results[strategies[0]]]
+    headers = (["total_keys", "expired_keys"]
+               + [f"{s}_erase_s" for s in strategies]
+               + ["paper_lazy_s"])
+    rows = []
+    for index, size in enumerate(sizes):
+        row: List[object] = [size, results[strategies[0]][index].short_keys]
+        for strategy in strategies:
+            row.append(round(results[strategy][index].erase_seconds, 3))
+        row.append(PAPER_LAZY_SECONDS.get(size, "-"))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def doubling_ratios(measurements: List[ErasureMeasurement]
+                    ) -> List[Tuple[int, float]]:
+    """Erase-time growth factor per size doubling (paper shape: ~2x)."""
+    out = []
+    for previous, current in zip(measurements, measurements[1:]):
+        if previous.erase_seconds > 0:
+            out.append((current.total_keys,
+                        current.erase_seconds / previous.erase_seconds))
+    return out

@@ -1,0 +1,49 @@
+"""Plain-text rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a separator under the header."""
+    text_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        text_rows.append([_fmt(cell) for cell in row])
+    widths = [max(len(row[col]) for row in text_rows)
+              for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(text_rows):
+        lines.append("  ".join(cell.ljust(widths[col])
+                               for col, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_series(title: str, pairs: Iterable[Sequence[object]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A labelled two-column series (one figure line)."""
+    lines = [title]
+    lines.append(render_table([x_label, y_label], pairs))
+    return "\n".join(lines)
+
+
+def normalize(values: Sequence[float], baseline: float) -> List[float]:
+    """Express values as fractions of a baseline (figure annotations)."""
+    if baseline == 0:
+        return [0.0 for _ in values]
+    return [v / baseline for v in values]

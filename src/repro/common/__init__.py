@@ -1,0 +1,14 @@
+"""Shared infrastructure: clocks, errors, hashing, histograms, RESP codec."""
+
+from .clock import Clock, SimClock, Stopwatch, WallClock
+from .errors import ReproError
+from .histogram import LatencyHistogram
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "Stopwatch",
+    "ReproError",
+    "LatencyHistogram",
+]

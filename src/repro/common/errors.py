@@ -1,0 +1,156 @@
+"""Exception hierarchy shared by every subsystem in :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems define narrower classes here
+(rather than locally) so that cross-layer code -- e.g. the GDPR layer
+wrapping the key-value store -- can handle substrate errors without
+importing substrate internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Generic / configuration
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SerializationError(ReproError):
+    """Encoding or decoding a wire/disk format failed."""
+
+
+class ProtocolError(SerializationError):
+    """A peer sent bytes that violate the wire protocol (RESP framing)."""
+
+
+# ---------------------------------------------------------------------------
+# Device layer
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for block-device and log-device failures."""
+
+
+class DeviceFullError(DeviceError):
+    """The device has no remaining capacity for the requested write."""
+
+
+class DeviceIOError(DeviceError):
+    """An injected or underlying I/O failure occurred."""
+
+
+class CorruptionError(DeviceError):
+    """Stored bytes fail checksum or structural validation."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto layer
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated data failed its integrity check (HMAC mismatch)."""
+
+
+class KeyNotFoundError(CryptoError, KeyError):
+    """A referenced key id is absent from the keystore (possibly erased)."""
+
+
+class KeyErasedError(KeyNotFoundError):
+    """The key existed but was destroyed by crypto-erasure."""
+
+
+# ---------------------------------------------------------------------------
+# Network layer
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ChannelClosedError(NetworkError):
+    """The channel was closed by either endpoint."""
+
+
+class HandshakeError(NetworkError):
+    """TLS-like handshake failed (bad credentials or tampering)."""
+
+
+# ---------------------------------------------------------------------------
+# Key-value store
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for key-value store errors."""
+
+
+class WrongTypeError(StoreError):
+    """Operation applied against a key holding the wrong data type.
+
+    Mirrors Redis' ``WRONGTYPE`` error.
+    """
+
+
+class UnknownCommandError(StoreError):
+    """The command name is not registered."""
+
+
+class ArityError(StoreError):
+    """A command received the wrong number of arguments."""
+
+
+class PersistenceError(StoreError):
+    """AOF or snapshot machinery failed (write error, corrupt file)."""
+
+
+# ---------------------------------------------------------------------------
+# GDPR layer
+# ---------------------------------------------------------------------------
+
+
+class GDPRError(ReproError):
+    """Base class for GDPR-layer errors."""
+
+
+class AccessDeniedError(GDPRError):
+    """The ACL engine denied the operation (GDPR Art. 25/32)."""
+
+
+class PurposeViolationError(GDPRError):
+    """The requested processing purpose is not whitelisted, or is
+    blacklisted, for the record (GDPR Art. 5.1, Art. 21)."""
+
+
+class LocationViolationError(GDPRError):
+    """The record may not be placed in the requested region (Art. 46)."""
+
+
+class RetentionViolationError(GDPRError):
+    """A record would outlive its declared retention period (Art. 5.1e)."""
+
+
+class UnknownSubjectError(GDPRError, KeyError):
+    """No records exist for the referenced data subject."""
+
+
+class AuditError(GDPRError):
+    """The audit log rejected a record or failed verification."""
+
+
+class ComplianceError(GDPRError):
+    """A compliance assessment could not be completed."""

@@ -1,0 +1,214 @@
+"""REdis Serialization Protocol (RESP2) codec.
+
+The kvstore's client and server speak RESP over the simulated network
+channels, exactly as real Redis clients speak to a real Redis server (and as
+stunnel proxies shuttle opaque RESP bytes).  Implementing the real wire
+format keeps the TLS experiment honest: the bytes that cross the simulated
+channel are the bytes a Redis deployment would ship.
+
+Supported types::
+
+    +OK\r\n                      simple string   -> SimpleString
+    -ERR msg\r\n                 error           -> RespError
+    :42\r\n                      integer         -> int
+    $5\r\nhello\r\n              bulk string     -> bytes
+    $-1\r\n                      null bulk       -> None
+    *2\r\n...                    array           -> list
+    *-1\r\n                      null array      -> None
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .errors import ProtocolError
+
+CRLF = b"\r\n"
+
+
+class SimpleString(str):
+    """A RESP simple string ('+OK').  Distinct from bulk strings so that
+    round-tripping preserves the wire type."""
+
+
+class RespError(Exception):
+    """A RESP protocol-level error value ('-ERR ...').
+
+    It is both a decodable value and an exception, mirroring how client
+    libraries surface server errors.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RespError) and other.message == self.message
+
+    def __hash__(self) -> int:
+        return hash(("RespError", self.message))
+
+
+def encode(value: Any) -> bytes:
+    """Encode a Python value into RESP bytes.
+
+    ``str`` encodes as a bulk string (what clients send); use
+    :class:`SimpleString` for '+' replies.  ``None`` encodes as the null
+    bulk string.
+    """
+    if isinstance(value, SimpleString):
+        if "\r" in value or "\n" in value:
+            raise ProtocolError("simple strings cannot contain CR/LF")
+        return b"+" + value.encode("utf-8") + CRLF
+    if isinstance(value, RespError):
+        if "\r" in value.message or "\n" in value.message:
+            raise ProtocolError("errors cannot contain CR/LF")
+        return b"-" + value.message.encode("utf-8") + CRLF
+    if isinstance(value, bool):
+        # Booleans are not a RESP2 type; encode as integers like Redis does.
+        return b":" + (b"1" if value else b"0") + CRLF
+    if isinstance(value, int):
+        return b":" + str(value).encode("ascii") + CRLF
+    if value is None:
+        return b"$-1" + CRLF
+    if isinstance(value, str):
+        value = value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        return b"$" + str(len(data)).encode("ascii") + CRLF + data + CRLF
+    if isinstance(value, (list, tuple)):
+        parts = [b"*" + str(len(value)).encode("ascii") + CRLF]
+        parts.extend(encode(item) for item in value)
+        return b"".join(parts)
+    raise ProtocolError(f"cannot encode type {type(value).__name__} as RESP")
+
+
+def encode_command(*args: Any) -> bytes:
+    """Encode a client command as an array of bulk strings."""
+    out = [b"*" + str(len(args)).encode("ascii") + CRLF]
+    for arg in args:
+        if isinstance(arg, (int, float)):
+            arg = str(arg)
+        if isinstance(arg, str):
+            arg = arg.encode("utf-8")
+        if not isinstance(arg, (bytes, bytearray)):
+            raise ProtocolError(
+                f"command arguments must be scalar, got {type(arg).__name__}")
+        data = bytes(arg)
+        out.append(b"$" + str(len(data)).encode("ascii") + CRLF + data + CRLF)
+    return b"".join(out)
+
+
+class RespDecoder:
+    """Incremental RESP decoder.
+
+    Feed raw bytes with :meth:`feed`; pull complete values with
+    :meth:`next_value`, which returns ``(found, value)`` so that ``None``
+    (the null bulk string) is distinguishable from "need more bytes".
+    """
+
+    def __init__(self, max_bulk: int = 512 * 1024 * 1024) -> None:
+        self._buffer = bytearray()
+        self._max_bulk = max_bulk
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def next_value(self) -> Tuple[bool, Any]:
+        result = self._parse(0)
+        if result is None:
+            return False, None
+        value, consumed = result
+        del self._buffer[:consumed]
+        return True, value
+
+    def drain(self) -> List[Any]:
+        """Decode every complete value currently buffered."""
+        values = []
+        while True:
+            found, value = self.next_value()
+            if not found:
+                return values
+            values.append(value)
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_line(self, start: int) -> Optional[Tuple[bytes, int]]:
+        idx = self._buffer.find(CRLF, start)
+        if idx < 0:
+            return None
+        return bytes(self._buffer[start:idx]), idx + 2
+
+    def _parse(self, start: int) -> Optional[Tuple[Any, int]]:
+        if len(self._buffer) <= start:
+            return None
+        marker = self._buffer[start:start + 1]
+        line = self._find_line(start + 1)
+        if line is None:
+            return None
+        payload, after = line
+        if marker == b"+":
+            return SimpleString(payload.decode("utf-8")), after
+        if marker == b"-":
+            return RespError(payload.decode("utf-8")), after
+        if marker == b":":
+            try:
+                return int(payload), after
+            except ValueError:
+                raise ProtocolError(f"bad integer payload: {payload!r}")
+        if marker == b"$":
+            return self._parse_bulk(payload, after)
+        if marker == b"*":
+            return self._parse_array(payload, after)
+        raise ProtocolError(f"unknown RESP type marker: {marker!r}")
+
+    def _parse_bulk(self, header: bytes,
+                    after: int) -> Optional[Tuple[Any, int]]:
+        try:
+            length = int(header)
+        except ValueError:
+            raise ProtocolError(f"bad bulk length: {header!r}")
+        if length == -1:
+            return None, after
+        if length < 0 or length > self._max_bulk:
+            raise ProtocolError(f"bulk length out of range: {length}")
+        end = after + length
+        if len(self._buffer) < end + 2:
+            return None
+        if bytes(self._buffer[end:end + 2]) != CRLF:
+            raise ProtocolError("bulk string not terminated by CRLF")
+        return bytes(self._buffer[after:end]), end + 2
+
+    def _parse_array(self, header: bytes,
+                     after: int) -> Optional[Tuple[Any, int]]:
+        try:
+            count = int(header)
+        except ValueError:
+            raise ProtocolError(f"bad array length: {header!r}")
+        if count == -1:
+            return None, after
+        if count < 0:
+            raise ProtocolError(f"array length out of range: {count}")
+        items = []
+        cursor = after
+        for _ in range(count):
+            parsed = self._parse(cursor)
+            if parsed is None:
+                return None
+            item, cursor = parsed
+            items.append(item)
+        return items, cursor
+
+
+def decode_all(data: bytes) -> List[Any]:
+    """Decode a self-contained byte string into all its RESP values."""
+    decoder = RespDecoder()
+    decoder.feed(data)
+    values = decoder.drain()
+    if decoder.buffered:
+        raise ProtocolError(f"{decoder.buffered} trailing bytes after decode")
+    return values

@@ -1,0 +1,27 @@
+"""Cryptographic building blocks: AE cipher, key hierarchy, pseudonyms."""
+
+from .cipher import (
+    KEY_SIZE,
+    NONCE_SIZE,
+    TAG_SIZE,
+    AuthenticatedCipher,
+    SectorCipher,
+    StreamCipher,
+    derive_key,
+    random_bytes,
+)
+from .keystore import KeyStore
+from .pseudonymize import Pseudonymizer
+
+__all__ = [
+    "KEY_SIZE",
+    "NONCE_SIZE",
+    "TAG_SIZE",
+    "AuthenticatedCipher",
+    "SectorCipher",
+    "StreamCipher",
+    "derive_key",
+    "random_bytes",
+    "KeyStore",
+    "Pseudonymizer",
+]

@@ -1,0 +1,155 @@
+"""Pure-Python authenticated encryption used for at-rest and in-transit data.
+
+GDPR Art. 32 mandates encryption of personal data; the paper bolts LUKS and
+TLS onto Redis.  Nothing cryptographic is importable in this offline
+environment beyond :mod:`hashlib`/:mod:`hmac`, so we build a standard
+construction from those primitives:
+
+* a **CTR-mode stream cipher** whose keystream blocks are
+  ``SHA-256(key || nonce || counter)`` -- a PRF in counter mode; and
+* **encrypt-then-MAC** with HMAC-SHA256 over ``nonce || aad || ciphertext``.
+
+This is the textbook generic composition (IND-CPA stream cipher + SUF-CMA
+MAC => IND-CCA AE).  It is NOT a vetted primitive suite and exists to
+reproduce the *systems cost* of encryption: every byte through the layer
+pays a per-byte CPU price, exactly the overhead the paper measures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+from ..common.errors import CryptoError, IntegrityError
+
+BLOCK_SIZE = 32          # SHA-256 digest size drives the keystream block.
+NONCE_SIZE = 16
+TAG_SIZE = 32
+KEY_SIZE = 32
+
+
+def random_bytes(n: int) -> bytes:
+    """Source of nonces and keys (os.urandom; not clock-dependent)."""
+    return os.urandom(n)
+
+
+def derive_key(passphrase: bytes, salt: bytes,
+               iterations: int = 10_000) -> bytes:
+    """PBKDF2-HMAC-SHA256 key derivation (LUKS-style keyslot KDF)."""
+    if not passphrase:
+        raise CryptoError("empty passphrase")
+    return hashlib.pbkdf2_hmac("sha256", passphrase, salt, iterations,
+                               dklen=KEY_SIZE)
+
+
+class StreamCipher:
+    """SHA-256/CTR keystream cipher.  Encryption == decryption (XOR)."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._key = key
+
+    def keystream(self, nonce: bytes, length: int,
+                  start_block: int = 0) -> bytes:
+        """Generate ``length`` keystream bytes for ``nonce``."""
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(
+                f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        blocks = []
+        needed = length
+        counter = start_block
+        prefix = self._key + nonce
+        while needed > 0:
+            block = hashlib.sha256(
+                prefix + struct.pack(">Q", counter)).digest()
+            blocks.append(block)
+            needed -= BLOCK_SIZE
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def transform(self, data: bytes, nonce: bytes) -> bytes:
+        """XOR ``data`` with the keystream for ``nonce``."""
+        stream = self.keystream(nonce, len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    encrypt = transform
+    decrypt = transform
+
+
+class AuthenticatedCipher:
+    """Encrypt-then-MAC envelope: ``nonce || ciphertext || tag``.
+
+    Separate encryption and MAC keys are derived from the master key so a
+    single 32-byte key configures the whole envelope.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._enc_key = hashlib.sha256(b"enc|" + key).digest()
+        self._mac_key = hashlib.sha256(b"mac|" + key).digest()
+        self._cipher = StreamCipher(self._enc_key)
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        mac = hmac.new(self._mac_key, digestmod=hashlib.sha256)
+        mac.update(struct.pack(">I", len(aad)))
+        mac.update(aad)
+        mac.update(nonce)
+        mac.update(ciphertext)
+        return mac.digest()
+
+    def seal(self, plaintext: bytes, aad: bytes = b"",
+             nonce: bytes = None) -> bytes:
+        """Encrypt and authenticate ``plaintext`` (binding ``aad``)."""
+        if nonce is None:
+            nonce = random_bytes(NONCE_SIZE)
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(
+                f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        ciphertext = self._cipher.transform(plaintext, nonce)
+        return nonce + ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def open(self, token: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt a sealed token; raises IntegrityError."""
+        if len(token) < NONCE_SIZE + TAG_SIZE:
+            raise IntegrityError("token too short to be authentic")
+        nonce = token[:NONCE_SIZE]
+        ciphertext = token[NONCE_SIZE:-TAG_SIZE]
+        tag = token[-TAG_SIZE:]
+        expected = self._tag(nonce, aad, ciphertext)
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("authentication tag mismatch")
+        return self._cipher.transform(ciphertext, nonce)
+
+    @staticmethod
+    def overhead() -> int:
+        """Bytes added per sealed message."""
+        return NONCE_SIZE + TAG_SIZE
+
+
+class SectorCipher:
+    """Length-preserving sector encryption for block devices (LUKS-like).
+
+    Each sector is encrypted under a nonce derived deterministically from
+    the sector number (an ESSIV-style tweak), so random-access reads need no
+    stored per-sector metadata and writes stay in place.  Length-preserving
+    means no per-sector integrity tag -- the same trade-off dm-crypt makes;
+    whole-device integrity belongs to a higher layer.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = StreamCipher(hashlib.sha256(b"sector|" + key).digest())
+        self._tweak_key = hashlib.sha256(b"tweak|" + key).digest()
+
+    def _sector_nonce(self, sector: int) -> bytes:
+        digest = hmac.new(self._tweak_key, struct.pack(">Q", sector),
+                          hashlib.sha256).digest()
+        return digest[:NONCE_SIZE]
+
+    def encrypt_sector(self, sector: int, data: bytes) -> bytes:
+        return self._cipher.transform(data, self._sector_nonce(sector))
+
+    decrypt_sector = encrypt_sector  # XOR cipher: same transform.

@@ -1,0 +1,104 @@
+"""Key hierarchy with per-subject data keys and crypto-erasure.
+
+The GDPR layer encrypts each data subject's values under a **per-subject
+data key**, wrapped by a master key.  Destroying a subject's data key makes
+every ciphertext encrypted under it unrecoverable -- *crypto-erasure* --
+which is the standard systems answer to Art. 17's requirement that erasure
+reach replicas and backups that are expensive to rewrite (the paper's AOF
+persistence concern in section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..common.errors import CryptoError, KeyErasedError, KeyNotFoundError
+from .cipher import KEY_SIZE, AuthenticatedCipher, random_bytes
+
+
+class KeyStore:
+    """Manages wrapped per-subject keys under one master key.
+
+    Wrapped key material (what :meth:`export_wrapped` returns) is safe to
+    persist anywhere; only the master key must live in protected storage.
+    """
+
+    def __init__(self, master_key: Optional[bytes] = None) -> None:
+        if master_key is None:
+            master_key = random_bytes(KEY_SIZE)
+        if len(master_key) != KEY_SIZE:
+            raise CryptoError(
+                f"master key must be {KEY_SIZE} bytes, got {len(master_key)}")
+        self._master = AuthenticatedCipher(master_key)
+        self._wrapped: Dict[str, bytes] = {}
+        self._erased: set = set()
+
+    # -- key lifecycle -------------------------------------------------------
+
+    def create_key(self, key_id: str) -> bytes:
+        """Create (or return the existing) data key for ``key_id``."""
+        if key_id in self._erased:
+            raise KeyErasedError(
+                f"key {key_id!r} was erased and cannot be recreated "
+                "under the same id")
+        if key_id in self._wrapped:
+            return self.get_key(key_id)
+        data_key = random_bytes(KEY_SIZE)
+        self._wrapped[key_id] = self._master.seal(
+            data_key, aad=key_id.encode("utf-8"))
+        return data_key
+
+    def get_key(self, key_id: str) -> bytes:
+        """Unwrap and return the data key for ``key_id``."""
+        if key_id in self._erased:
+            raise KeyErasedError(f"key {key_id!r} was crypto-erased")
+        wrapped = self._wrapped.get(key_id)
+        if wrapped is None:
+            raise KeyNotFoundError(f"no key with id {key_id!r}")
+        return self._master.open(wrapped, aad=key_id.encode("utf-8"))
+
+    def cipher_for(self, key_id: str,
+                   create: bool = True) -> AuthenticatedCipher:
+        """Authenticated cipher bound to ``key_id``'s data key."""
+        if create and key_id not in self._wrapped:
+            self.create_key(key_id)
+        return AuthenticatedCipher(self.get_key(key_id))
+
+    def erase_key(self, key_id: str) -> bool:
+        """Crypto-erase: destroy the wrapped key, tombstone the id.
+
+        Returns True if a key was destroyed.  After erasure every
+        ciphertext under this key is permanently unreadable, including
+        copies in logs, snapshots, and backups.
+        """
+        existed = self._wrapped.pop(key_id, None) is not None
+        self._erased.add(key_id)
+        return existed
+
+    # -- introspection / portability ------------------------------------------
+
+    def __contains__(self, key_id: str) -> bool:
+        return key_id in self._wrapped
+
+    def key_ids(self) -> Iterable[str]:
+        return sorted(self._wrapped)
+
+    def erased_ids(self) -> Iterable[str]:
+        return sorted(self._erased)
+
+    def export_wrapped(self) -> Dict[str, bytes]:
+        """Wrapped (encrypted) key blobs -- safe to persist."""
+        return dict(self._wrapped)
+
+    def import_wrapped(self, blobs: Dict[str, bytes]) -> None:
+        """Restore wrapped keys (e.g., after restart).
+
+        Erased ids stay erased: a restore must not resurrect destroyed keys,
+        otherwise backups would defeat crypto-erasure.
+        """
+        for key_id, blob in blobs.items():
+            if key_id in self._erased:
+                continue
+            # Validate before accepting: unwrapping raises on tampering.
+            self._master.open(blob, aad=key_id.encode("utf-8"))
+            self._wrapped[key_id] = blob

@@ -1,0 +1,61 @@
+"""Pseudonymization (GDPR Art. 32, Recital 28).
+
+GDPR names pseudonymization as a risk-reduction measure: replace direct
+identifiers with stable pseudonyms, and keep the re-identification table
+separate from the data.  :class:`Pseudonymizer` produces deterministic
+HMAC-based pseudonyms; the reverse mapping lives only inside the object (the
+"separate storage" in a real deployment) and is itself erasable per subject.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Optional
+
+from ..common.errors import CryptoError
+from .cipher import KEY_SIZE, random_bytes
+
+
+class Pseudonymizer:
+    """Deterministic, keyed pseudonyms with an erasable reverse map."""
+
+    def __init__(self, key: Optional[bytes] = None, prefix: str = "sub-",
+                 digest_chars: int = 16) -> None:
+        if key is None:
+            key = random_bytes(KEY_SIZE)
+        if len(key) < 16:
+            raise CryptoError("pseudonymization key too short")
+        if digest_chars < 8:
+            raise CryptoError("pseudonym too short to avoid collisions")
+        self._key = key
+        self._prefix = prefix
+        self._chars = digest_chars
+        self._reverse: Dict[str, str] = {}
+
+    def pseudonym(self, identifier: str) -> str:
+        """Stable pseudonym for ``identifier``; records the reverse link."""
+        digest = hmac.new(self._key, identifier.encode("utf-8"),
+                          hashlib.sha256).hexdigest()[:self._chars]
+        alias = self._prefix + digest
+        self._reverse[alias] = identifier
+        return alias
+
+    def reidentify(self, alias: str) -> Optional[str]:
+        """Reverse lookup; None if unknown or unlinked."""
+        return self._reverse.get(alias)
+
+    def unlink(self, identifier: str) -> bool:
+        """Destroy the reverse link for one subject (erasure support).
+
+        The pseudonym remains computable only by parties holding the key;
+        without the reverse table the stored alias no longer identifies the
+        subject through this system.
+        """
+        alias = self.pseudonym(identifier)
+        # pseudonym() re-adds the link; remove it and report whether a link
+        # existed before this call.
+        return self._reverse.pop(alias, None) is not None
+
+    def linked_count(self) -> int:
+        return len(self._reverse)

@@ -1,0 +1,20 @@
+"""Simulated storage devices: latency models, block device, append log, LUKS."""
+
+from .append_log import AppendLog
+from .block_device import FaultInjector, SimulatedBlockDevice
+from .latency import HDD, INTEL_750_SSD, NVM, PRESETS, ZERO, LatencyModel
+from .luks import SECTOR_SIZE, LuksVolume
+
+__all__ = [
+    "AppendLog",
+    "FaultInjector",
+    "SimulatedBlockDevice",
+    "LatencyModel",
+    "INTEL_750_SSD",
+    "HDD",
+    "NVM",
+    "ZERO",
+    "PRESETS",
+    "LuksVolume",
+    "SECTOR_SIZE",
+]

@@ -1,0 +1,130 @@
+"""Simulated block devices with latency accounting and fault injection.
+
+:class:`SimulatedBlockDevice` stores bytes in memory, charges simulated time
+on a :class:`~repro.common.clock.Clock` according to a
+:class:`~repro.device.latency.LatencyModel`, and distinguishes *written*
+from *durable* state so crash tests can observe exactly what an fsync-less
+workload would lose.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..common.clock import Clock, SimClock
+from ..common.errors import DeviceFullError, DeviceIOError
+from .latency import ZERO, LatencyModel
+
+
+class FaultInjector:
+    """Deterministic write-failure injection for durability tests.
+
+    Two modes compose: an explicit countdown (``fail_after(n)`` fails the
+    n-th subsequent write) and a seeded probability per write.
+    """
+
+    def __init__(self, probability: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self._probability = probability
+        self._rng = random.Random(seed)
+        self._countdown: Optional[int] = None
+
+    def fail_after(self, writes: int) -> None:
+        """Arm a one-shot failure ``writes`` writes from now (0 = next)."""
+        if writes < 0:
+            raise ValueError("writes must be >= 0")
+        self._countdown = writes
+
+    def check(self) -> None:
+        """Raise DeviceIOError if a fault fires for this write."""
+        if self._countdown is not None:
+            if self._countdown == 0:
+                self._countdown = None
+                raise DeviceIOError("injected write failure (countdown)")
+            self._countdown -= 1
+        if self._probability and self._rng.random() < self._probability:
+            raise DeviceIOError("injected write failure (probabilistic)")
+
+
+class SimulatedBlockDevice:
+    """A flat byte-addressable device.
+
+    Writes land in the *volatile* image immediately; :meth:`flush` copies
+    the volatile image to the *durable* image and charges the fsync cost.
+    :meth:`crash` discards volatile state, modelling power loss.
+    """
+
+    def __init__(self, capacity: int, clock: Optional[Clock] = None,
+                 latency: LatencyModel = ZERO,
+                 faults: Optional[FaultInjector] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency
+        self.faults = faults
+        self._volatile = bytearray(capacity)
+        self._durable = bytearray(capacity)
+        # Counters exposed for benchmarks and assertions.
+        self.writes = 0
+        self.reads = 0
+        self.flushes = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- primitives ----------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` into the volatile image."""
+        end = offset + len(data)
+        if offset < 0 or end > self.capacity:
+            raise DeviceFullError(
+                f"write [{offset}, {end}) exceeds capacity {self.capacity}")
+        if self.faults is not None:
+            self.faults.check()
+        self.clock.advance(self.latency.write_cost(len(data)))
+        self._volatile[offset:end] = data
+        self.writes += 1
+        self.bytes_written += len(data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` from the volatile image."""
+        end = offset + length
+        if offset < 0 or length < 0 or end > self.capacity:
+            raise DeviceIOError(
+                f"read [{offset}, {end}) exceeds capacity {self.capacity}")
+        self.clock.advance(self.latency.read_cost(length))
+        self.reads += 1
+        self.bytes_read += length
+        return bytes(self._volatile[offset:end])
+
+    def flush(self) -> None:
+        """Durability barrier: persist all volatile writes (fsync)."""
+        self.clock.advance(self.latency.fsync)
+        self._durable[:] = self._volatile
+        self.flushes += 1
+
+    def crash(self) -> None:
+        """Power loss: volatile image reverts to the last durable state."""
+        self._volatile[:] = self._durable
+
+    # -- inspection ----------------------------------------------------------
+
+    def durable_read(self, offset: int, length: int) -> bytes:
+        """Read from the durable image (what survives a crash)."""
+        end = offset + length
+        if offset < 0 or length < 0 or end > self.capacity:
+            raise DeviceIOError(
+                f"read [{offset}, {end}) exceeds capacity {self.capacity}")
+        return bytes(self._durable[offset:end])
+
+    def snapshot_counters(self) -> dict:
+        return {
+            "writes": self.writes,
+            "reads": self.reads,
+            "flushes": self.flushes,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+        }

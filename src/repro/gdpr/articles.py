@@ -1,0 +1,113 @@
+"""Machine-readable registry of the storage-relevant GDPR articles.
+
+This encodes the paper's Table 1: the 13 article entries that
+"significantly impact the design, interfacing, or performance of storage
+systems", each mapped to the storage features it requires.  The compliance
+assessor and the Table 1 benchmark both consume this registry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class StorageFeature(enum.Enum):
+    """The six features of GDPR-compliant storage (paper section 3.1)."""
+
+    TIMELY_DELETION = "timely deletion"
+    MONITORING = "monitoring"
+    INDEXING = "metadata indexing"
+    ACCESS_CONTROL = "access control"
+    ENCRYPTION = "encryption"
+    LOCATION = "manage data location"
+
+
+ALL_FEATURES: Tuple[StorageFeature, ...] = tuple(StorageFeature)
+
+
+@dataclass(frozen=True)
+class Article:
+    """One row of Table 1."""
+
+    number: str               # e.g. "5.1", "17", "33,34"
+    name: str
+    requirement: str
+    features: Tuple[StorageFeature, ...]
+
+    @property
+    def needs_all_features(self) -> bool:
+        return set(self.features) == set(ALL_FEATURES)
+
+
+def _all() -> Tuple[StorageFeature, ...]:
+    return ALL_FEATURES
+
+
+# Table 1 of the paper, row by row.
+TABLE1: List[Article] = [
+    Article("5.1", "Purpose limitation",
+            "Data must be collected and used for specific purposes",
+            (StorageFeature.INDEXING,)),
+    Article("5.1", "Storage limitation",
+            "Data should not be stored beyond its purpose",
+            (StorageFeature.TIMELY_DELETION,)),
+    Article("5.2", "Accountability",
+            "Controller must be able to demonstrate compliance",
+            _all()),
+    Article("13", "Conditions for data collection",
+            "Get user's consent on how their data would be managed",
+            _all()),
+    Article("15", "Right of access by users",
+            "Provide users a timely access to all their data",
+            (StorageFeature.INDEXING,)),
+    Article("17", "Right to be forgotten",
+            "Find and delete groups of data",
+            (StorageFeature.TIMELY_DELETION,)),
+    Article("20", "Right to data portability",
+            "Transfer data to other controllers upon request",
+            (StorageFeature.INDEXING,)),
+    Article("21", "Right to object",
+            "Data should not be used for any objected reasons",
+            (StorageFeature.INDEXING,)),
+    Article("25", "Protection by design and by default",
+            "Safeguard and restrict access to data",
+            (StorageFeature.ACCESS_CONTROL, StorageFeature.ENCRYPTION)),
+    Article("30", "Records of processing activity",
+            "Store audit logs of all operations",
+            (StorageFeature.MONITORING,)),
+    Article("32", "Security of data",
+            "Implement appropriate data security measures",
+            (StorageFeature.ACCESS_CONTROL, StorageFeature.ENCRYPTION)),
+    Article("33,34", "Notify data breaches",
+            "Share insights and audit trails from concerned systems",
+            (StorageFeature.MONITORING,)),
+    Article("46", "Transfers subject to safeguards",
+            "Control where the data resides",
+            (StorageFeature.LOCATION,)),
+]
+
+# The paper's headline statistic: 31 of GDPR's 99 articles pertain to
+# storage; 99 articles total; 173 recitals.
+GDPR_TOTAL_ARTICLES = 99
+GDPR_STORAGE_RELATED_ARTICLES = 31
+GDPR_TOTAL_RECITALS = 173
+
+
+def articles_for_feature(feature: StorageFeature) -> List[Article]:
+    """Every Table 1 row that requires ``feature``."""
+    return [article for article in TABLE1 if feature in article.features]
+
+
+def feature_demand() -> Dict[StorageFeature, int]:
+    """How many Table 1 rows require each feature."""
+    return {feature: len(articles_for_feature(feature))
+            for feature in ALL_FEATURES}
+
+
+# Rights of data subjects (section 2.1) vs controller responsibilities
+# (section 2.2) as the paper partitions them.
+SUBJECT_RIGHTS_ARTICLES = ("15", "17", "20", "21")
+CONTROLLER_ARTICLES = ("5.1", "5.2", "13", "24", "25", "30", "32",
+                       "33,34", "46")

@@ -1,0 +1,227 @@
+"""The compliance spectrum (paper section 3.2) and Table 1 assessment.
+
+The paper's framing: compliance is not binary.  Along **response time** a
+system is *real-time* (GDPR tasks complete synchronously) or *eventual*;
+along **capability** it supports each feature *fully* (natively),
+*partially* (with external infrastructure), or not at all.  *Strict
+compliance* = full capability + real-time response on every feature.
+
+:func:`redis_baseline_profile` encodes the paper's section 4 assessment of
+unmodified Redis; :func:`gdpr_store_profile` derives a profile from a live
+:class:`~repro.gdpr.store.GDPRStore` configuration, so the spectrum the
+paper describes in prose is computed from actual system knobs here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .articles import ALL_FEATURES, TABLE1, Article, StorageFeature
+from .audit import AuditDurability
+
+
+class Capability(enum.Enum):
+    FULL = "full"          # natively supported
+    PARTIAL = "partial"    # needs external infrastructure or policy
+    NONE = "none"
+
+    @property
+    def rank(self) -> int:
+        return {"none": 0, "partial": 1, "full": 2}[self.value]
+
+
+class ResponseTime(enum.Enum):
+    REAL_TIME = "real-time"
+    EVENTUAL = "eventual"
+
+    @property
+    def rank(self) -> int:
+        return {"eventual": 0, "real-time": 1}[self.value]
+
+
+@dataclass(frozen=True)
+class FeatureSupport:
+    capability: Capability
+    response: ResponseTime = ResponseTime.EVENTUAL
+    note: str = ""
+
+    @property
+    def strict(self) -> bool:
+        return (self.capability is Capability.FULL
+                and self.response is ResponseTime.REAL_TIME)
+
+
+@dataclass
+class FeatureProfile:
+    """A system's declared support for the six features."""
+
+    name: str
+    support: Dict[StorageFeature, FeatureSupport] = field(
+        default_factory=dict)
+
+    def get(self, feature: StorageFeature) -> FeatureSupport:
+        return self.support.get(
+            feature, FeatureSupport(Capability.NONE))
+
+    @property
+    def strict(self) -> bool:
+        return all(self.get(f).strict for f in ALL_FEATURES)
+
+
+@dataclass(frozen=True)
+class ArticleVerdict:
+    article: Article
+    capability: Capability
+    response: ResponseTime
+    missing: tuple
+
+    @property
+    def compliant(self) -> bool:
+        return self.capability is not Capability.NONE
+
+    @property
+    def strict(self) -> bool:
+        return (self.capability is Capability.FULL
+                and self.response is ResponseTime.REAL_TIME)
+
+
+@dataclass
+class ComplianceAssessment:
+    profile_name: str
+    verdicts: List[ArticleVerdict]
+
+    @property
+    def articles_compliant(self) -> int:
+        return sum(1 for v in self.verdicts if v.compliant)
+
+    @property
+    def articles_strict(self) -> int:
+        return sum(1 for v in self.verdicts if v.strict)
+
+    @property
+    def strict(self) -> bool:
+        return all(v.strict for v in self.verdicts)
+
+
+def assess(profile: FeatureProfile) -> ComplianceAssessment:
+    """Evaluate a feature profile against every Table 1 article.
+
+    An article's capability/response is the weakest across the features it
+    needs (a chain is as compliant as its weakest link).
+    """
+    verdicts = []
+    for article in TABLE1:
+        supports = [profile.get(f) for f in article.features]
+        capability = min((s.capability for s in supports),
+                         key=lambda c: c.rank)
+        response = min((s.response for s in supports),
+                       key=lambda r: r.rank)
+        missing = tuple(f.value for f, s in zip(article.features, supports)
+                        if s.capability is Capability.NONE)
+        verdicts.append(ArticleVerdict(article=article,
+                                       capability=capability,
+                                       response=response, missing=missing))
+    return ComplianceAssessment(profile_name=profile.name,
+                                verdicts=verdicts)
+
+
+def redis_baseline_profile() -> FeatureProfile:
+    """Unmodified Redis, as section 4 of the paper characterizes it:
+    "fully supports monitoring, metadata indexing, and managing data
+    locations; partially supports timely deletion; offers no native
+    support for access control and encryption"."""
+    return FeatureProfile(name="redis-4.0-unmodified", support={
+        StorageFeature.MONITORING: FeatureSupport(
+            Capability.FULL, ResponseTime.EVENTUAL,
+            "AOF/MONITOR/slowlog exist but miss reads by default"),
+        StorageFeature.INDEXING: FeatureSupport(
+            Capability.FULL, ResponseTime.REAL_TIME,
+            "KEYS/SCAN and data structures"),
+        StorageFeature.LOCATION: FeatureSupport(
+            Capability.FULL, ResponseTime.REAL_TIME,
+            "explicit placement of instances"),
+        StorageFeature.TIMELY_DELETION: FeatureSupport(
+            Capability.PARTIAL, ResponseTime.EVENTUAL,
+            "EXPIRE is lazy-probabilistic; deleted data persists in AOF"),
+        StorageFeature.ACCESS_CONTROL: FeatureSupport(Capability.NONE),
+        StorageFeature.ENCRYPTION: FeatureSupport(Capability.NONE),
+    })
+
+
+def gdpr_store_profile(store, tls_enabled: bool = True,
+                       name: Optional[str] = None) -> FeatureProfile:
+    """Derive a profile from a live GDPRStore's actual configuration."""
+    from .store import GDPRStore  # typing only; avoids import cycle
+
+    assert isinstance(store, GDPRStore)
+    kv_cfg = store.kv.config
+    deletion_response = (
+        ResponseTime.REAL_TIME
+        if kv_cfg.expiry_strategy in ("fullscan", "indexed")
+        else ResponseTime.EVENTUAL)
+    deletion_capability = (
+        Capability.FULL if kv_cfg.appendonly
+        and (store.config.compact_on_erasure or store.config.encrypt_at_rest)
+        else Capability.PARTIAL)
+    audit_sync = store.audit.durability is AuditDurability.SYNC
+    monitoring = FeatureSupport(
+        Capability.FULL if kv_cfg.aof_log_reads or store.audit is not None
+        else Capability.PARTIAL,
+        ResponseTime.REAL_TIME if audit_sync else ResponseTime.EVENTUAL,
+        f"audit durability={store.audit.durability.value}")
+    encryption = FeatureSupport(
+        Capability.FULL if store.config.encrypt_at_rest and tls_enabled
+        else (Capability.PARTIAL if store.config.encrypt_at_rest
+              else Capability.NONE),
+        ResponseTime.REAL_TIME,
+        "per-subject envelopes" + (" + TLS" if tls_enabled else ""))
+    return FeatureProfile(
+        name=name or f"gdpr-store({store.config.node_id})",
+        support={
+            StorageFeature.TIMELY_DELETION: FeatureSupport(
+                deletion_capability, deletion_response,
+                f"expiry={kv_cfg.expiry_strategy}"),
+            StorageFeature.MONITORING: monitoring,
+            StorageFeature.INDEXING: FeatureSupport(
+                Capability.FULL, ResponseTime.REAL_TIME,
+                "owner/purpose/recipient inverted indexes"),
+            StorageFeature.ACCESS_CONTROL: FeatureSupport(
+                Capability.FULL, ResponseTime.REAL_TIME,
+                "default-deny purpose/time-scoped grants"),
+            StorageFeature.ENCRYPTION: encryption,
+            StorageFeature.LOCATION: FeatureSupport(
+                Capability.FULL, ResponseTime.REAL_TIME,
+                f"region={store.config.region}"),
+        })
+
+
+def render_table1(profiles: Optional[List[FeatureProfile]] = None) -> str:
+    """Render Table 1, optionally with per-profile verdict columns."""
+    header = ["No.", "GDPR article", "Key requirement", "Storage feature"]
+    assessments = []
+    if profiles:
+        for profile in profiles:
+            assessments.append(assess(profile))
+            header.append(profile.name)
+    rows = [header]
+    for i, article in enumerate(TABLE1):
+        features = ("All" if article.needs_all_features
+                    else ", ".join(f.value.title()
+                                   for f in article.features))
+        row = [article.number, article.name, article.requirement, features]
+        for assessment in assessments:
+            verdict = assessment.verdicts[i]
+            row.append(f"{verdict.capability.value}/"
+                       f"{verdict.response.value}")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = []
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c])
+                               for c, cell in enumerate(row)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Secondary metadata indexes (GDPR Art. 15, 20, 21; paper section 5.1).
+
+GDPR repeatedly needs *groups* of records: everything owned by a subject
+(access, erasure, portability), everything processable under a purpose
+(purpose limitation, objections), everything shared with a recipient.
+Key-value stores have no native secondary indexes -- the paper names
+"efficient metadata indexing" a research challenge -- so the GDPR layer
+maintains its own inverted indexes, updated transactionally with each put
+and delete, plus an expiry index ordered by deadline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .metadata import GDPRMetadata
+
+
+class MetadataIndex:
+    """Inverted indexes over record metadata.
+
+    All lookups are O(result); updates are O(#attributes).  The index is
+    authoritative only in memory -- after a restart it is rebuilt from a
+    keyspace scan (see ``GDPRStore.rebuild_indexes``), which is itself the
+    honest cost of bolting indexing onto an index-free substrate.
+    """
+
+    def __init__(self) -> None:
+        self._by_owner: Dict[str, Set[str]] = {}
+        self._by_purpose: Dict[str, Set[str]] = {}
+        self._by_recipient: Dict[str, Set[str]] = {}
+        self._objections: Dict[str, Set[str]] = {}
+        self._expiry_heap: List[Tuple[float, str]] = []
+        self._expiry: Dict[str, float] = {}
+        self._metadata: Dict[str, GDPRMetadata] = {}
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def add(self, key: str, metadata: GDPRMetadata) -> None:
+        if key in self._metadata:
+            self.remove(key)
+        self._metadata[key] = metadata
+        self._by_owner.setdefault(metadata.owner, set()).add(key)
+        for purpose in metadata.purposes:
+            self._by_purpose.setdefault(purpose, set()).add(key)
+        for purpose in metadata.objections:
+            self._objections.setdefault(purpose, set()).add(key)
+        for recipient in metadata.shared_with:
+            self._by_recipient.setdefault(recipient, set()).add(key)
+        deadline = metadata.expire_at()
+        if deadline is not None:
+            self._expiry[key] = deadline
+            heapq.heappush(self._expiry_heap, (deadline, key))
+
+    def remove(self, key: str) -> Optional[GDPRMetadata]:
+        metadata = self._metadata.pop(key, None)
+        if metadata is None:
+            return None
+        self._discard(self._by_owner, metadata.owner, key)
+        for purpose in metadata.purposes:
+            self._discard(self._by_purpose, purpose, key)
+        for purpose in metadata.objections:
+            self._discard(self._objections, purpose, key)
+        for recipient in metadata.shared_with:
+            self._discard(self._by_recipient, recipient, key)
+        self._expiry.pop(key, None)  # heap entry lazily invalidated
+        return metadata
+
+    @staticmethod
+    def _discard(table: Dict[str, Set[str]], attr: str, key: str) -> None:
+        bucket = table.get(attr)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del table[attr]
+
+    def clear(self) -> None:
+        self.__init__()
+
+    # -- queries -----------------------------------------------------------------------
+
+    def get_metadata(self, key: str) -> Optional[GDPRMetadata]:
+        return self._metadata.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metadata
+
+    def __len__(self) -> int:
+        return len(self._metadata)
+
+    def keys_of_owner(self, owner: str) -> List[str]:
+        return sorted(self._by_owner.get(owner, ()))
+
+    def keys_for_purpose(self, purpose: str) -> List[str]:
+        """Keys whitelisted for ``purpose`` minus those objecting to it."""
+        allowed = self._by_purpose.get(purpose, set())
+        objected = self._objections.get(purpose, set())
+        return sorted(allowed - objected)
+
+    def keys_shared_with(self, recipient: str) -> List[str]:
+        return sorted(self._by_recipient.get(recipient, ()))
+
+    def owners(self) -> List[str]:
+        return sorted(self._by_owner)
+
+    def purposes(self) -> List[str]:
+        return sorted(self._by_purpose)
+
+    def expired_keys(self, now: float) -> List[str]:
+        """Keys past their deadline, cheapest-first (heap order)."""
+        out = []
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            deadline, key = heapq.heappop(self._expiry_heap)
+            if self._expiry.get(key) == deadline:
+                out.append(key)
+                del self._expiry[key]
+        return out
+
+    def next_deadline(self) -> Optional[float]:
+        while self._expiry_heap:
+            deadline, key = self._expiry_heap[0]
+            if self._expiry.get(key) == deadline:
+                return deadline
+            heapq.heappop(self._expiry_heap)
+        return None
+
+    def rebuild(self, entries: Iterable[Tuple[str, GDPRMetadata]]) -> int:
+        """Reconstruct from a scan; returns entries indexed."""
+        self.clear()
+        count = 0
+        for key, metadata in entries:
+            self.add(key, metadata)
+            count += 1
+        return count

@@ -1,0 +1,114 @@
+"""Managing data location (GDPR Art. 46, Chapter V).
+
+GDPR restricts where personal data may physically live; transfers outside
+the EU need adequacy decisions or safeguards.  The model here:
+
+* a :class:`Region` registry with an ``adequate`` flag (EU members and
+  adequacy-decision countries are lawful destinations by default);
+* a :class:`LocationManager` that places stores in regions, validates each
+  record's ``allowed_regions`` against its node's region at write time,
+  and answers "where does subject X's data live right now?" -- the
+  find-and-control requirement of section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..common.errors import LocationViolationError
+from .metadata import GDPRMetadata
+
+
+@dataclass(frozen=True)
+class Region:
+    code: str                # "eu-west", "us-east", ...
+    jurisdiction: str        # "EU", "US", ...
+    adequate: bool           # lawful destination for EU personal data
+
+
+# A small built-in map; deployments register their own.
+BUILTIN_REGIONS = {
+    "eu-west": Region("eu-west", "EU", adequate=True),
+    "eu-central": Region("eu-central", "EU", adequate=True),
+    "uk": Region("uk", "UK", adequate=True),          # adequacy decision
+    "us-east": Region("us-east", "US", adequate=False),
+    "us-west": Region("us-west", "US", adequate=False),
+    "ap-south": Region("ap-south", "IN", adequate=False),
+}
+
+
+class LocationManager:
+    """Tracks node placement and enforces residency constraints."""
+
+    def __init__(self, regions: Optional[Dict[str, Region]] = None) -> None:
+        self.regions: Dict[str, Region] = dict(
+            regions if regions is not None else BUILTIN_REGIONS)
+        self._node_region: Dict[str, str] = {}     # node id -> region code
+        self._key_locations: Dict[str, Set[str]] = {}  # key -> region codes
+        self.violations_blocked = 0
+
+    # -- registry ------------------------------------------------------------------
+
+    def register_region(self, region: Region) -> None:
+        self.regions[region.code] = region
+
+    def place_node(self, node_id: str, region_code: str) -> None:
+        if region_code not in self.regions:
+            raise LocationViolationError(f"unknown region {region_code!r}")
+        self._node_region[node_id] = region_code
+
+    def node_region(self, node_id: str) -> str:
+        region = self._node_region.get(node_id)
+        if region is None:
+            raise LocationViolationError(
+                f"node {node_id!r} has no declared region")
+        return region
+
+    # -- enforcement -----------------------------------------------------------------
+
+    def check_placement(self, metadata: GDPRMetadata,
+                        region_code: str) -> None:
+        """Raise unless ``metadata`` may be stored in ``region_code``.
+
+        Empty ``allowed_regions`` means "any adequate region".
+        """
+        region = self.regions.get(region_code)
+        if region is None:
+            raise LocationViolationError(f"unknown region {region_code!r}")
+        if metadata.allowed_regions:
+            if region_code not in metadata.allowed_regions:
+                self.violations_blocked += 1
+                raise LocationViolationError(
+                    f"record owned by {metadata.owner!r} may not be "
+                    f"stored in {region_code!r} (allowed: "
+                    f"{sorted(metadata.allowed_regions)})")
+        elif not region.adequate:
+            self.violations_blocked += 1
+            raise LocationViolationError(
+                f"region {region_code!r} lacks an adequacy decision and "
+                f"the record does not whitelist it")
+
+    # -- tracking --------------------------------------------------------------------
+
+    def record_stored(self, key: str, region_code: str) -> None:
+        self._key_locations.setdefault(key, set()).add(region_code)
+
+    def record_erased(self, key: str,
+                      region_code: Optional[str] = None) -> None:
+        locations = self._key_locations.get(key)
+        if locations is None:
+            return
+        if region_code is None:
+            del self._key_locations[key]
+        else:
+            locations.discard(region_code)
+            if not locations:
+                del self._key_locations[key]
+
+    def locations_of(self, key: str) -> List[str]:
+        return sorted(self._key_locations.get(key, ()))
+
+    def keys_in_region(self, region_code: str) -> List[str]:
+        return sorted(key for key, regions in self._key_locations.items()
+                      if region_code in regions)

@@ -1,0 +1,136 @@
+"""Retention policies: TTL as a policy criterion (GDPR Art. 5.1e).
+
+Section 3.1 of the paper: "GDPR allows TTL to be either a static time or
+a policy criterion that can be objectively evaluated."  The metadata
+layer handles static TTLs; this module supplies the policy half:
+
+* a :class:`RetentionPolicy` names a purpose and bounds how long data
+  collected for it may live;
+* a :class:`PolicyEngine` resolves a record's effective retention as the
+  *minimum* bound across its declared purposes (storage limitation: data
+  may not outlive any purpose it was collected for), audits policy
+  changes, and can re-derive deadlines when a policy tightens.
+
+The engine also supports *legal holds* -- the Art. 17(3) carve-outs
+(e.g., legal obligations) that suspend erasure for named records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..common.errors import RetentionViolationError
+from .metadata import GDPRMetadata
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Retention bound for one processing purpose."""
+
+    purpose: str
+    max_retention: float          # seconds; data must be erased by then
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_retention <= 0:
+            raise ValueError("retention bound must be positive")
+
+
+class PolicyEngine:
+    """Resolves effective retention and validates record lifetimes."""
+
+    def __init__(self, default_retention: Optional[float] = None) -> None:
+        self._policies: Dict[str, RetentionPolicy] = {}
+        self._legal_holds: Set[str] = set()
+        self.default_retention = default_retention
+
+    # -- policy administration ---------------------------------------------------
+
+    def set_policy(self, policy: RetentionPolicy) -> None:
+        self._policies[policy.purpose] = policy
+
+    def remove_policy(self, purpose: str) -> bool:
+        return self._policies.pop(purpose, None) is not None
+
+    def policy_for(self, purpose: str) -> Optional[RetentionPolicy]:
+        return self._policies.get(purpose)
+
+    def policies(self) -> List[RetentionPolicy]:
+        return [self._policies[p] for p in sorted(self._policies)]
+
+    # -- legal holds (Art. 17(3)) ---------------------------------------------------
+
+    def place_legal_hold(self, key: str) -> None:
+        self._legal_holds.add(key)
+
+    def release_legal_hold(self, key: str) -> bool:
+        if key in self._legal_holds:
+            self._legal_holds.remove(key)
+            return True
+        return False
+
+    def is_held(self, key: str) -> bool:
+        return key in self._legal_holds
+
+    @property
+    def held_keys(self) -> List[str]:
+        return sorted(self._legal_holds)
+
+    # -- resolution -----------------------------------------------------------------
+
+    def effective_retention(self,
+                            metadata: GDPRMetadata) -> Optional[float]:
+        """The tightest bound across the record's purposes.
+
+        A record collected for several purposes must honour the shortest
+        applicable retention; purposes without a policy fall back to the
+        engine default (None = unbounded for that purpose).
+        """
+        bounds = []
+        for purpose in metadata.purposes:
+            policy = self._policies.get(purpose)
+            if policy is not None:
+                bounds.append(policy.max_retention)
+            elif self.default_retention is not None:
+                bounds.append(self.default_retention)
+        if metadata.ttl is not None:
+            bounds.append(metadata.ttl)
+        if not bounds:
+            return None
+        return min(bounds)
+
+    def validate(self, metadata: GDPRMetadata) -> None:
+        """Reject records whose declared TTL exceeds any policy bound."""
+        for purpose in metadata.purposes:
+            policy = self._policies.get(purpose)
+            if policy is None:
+                continue
+            if metadata.ttl is None:
+                raise RetentionViolationError(
+                    f"purpose {purpose!r} caps retention at "
+                    f"{policy.max_retention}s but the record declares "
+                    "no TTL")
+            if metadata.ttl > policy.max_retention:
+                raise RetentionViolationError(
+                    f"declared TTL {metadata.ttl}s exceeds the "
+                    f"{policy.max_retention}s bound for purpose "
+                    f"{purpose!r}")
+
+    def overdue(self, entries: Iterable[Tuple[str, GDPRMetadata]],
+                now: float) -> List[str]:
+        """Keys whose effective retention has lapsed (hold-aware).
+
+        Drives policy-based sweeps: callers feed the metadata index's
+        entries and erase what comes back.
+        """
+        out = []
+        for key, metadata in entries:
+            if key in self._legal_holds:
+                continue
+            bound = self.effective_retention(metadata)
+            if bound is None:
+                continue
+            if metadata.created_at + bound <= now:
+                out.append(key)
+        return out

@@ -1,0 +1,67 @@
+"""A Redis-like key-value store: the substrate the paper retrofits.
+
+Public surface::
+
+    store = KeyValueStore(StoreConfig(appendonly=True, appendfsync="always"))
+    store.execute("SET", "user:1", "...")
+    store.execute("EXPIRE", "user:1", 300)
+"""
+
+from .aof import AofRewriter, AofWriter, FsyncPolicy, contains_key, replay_commands
+from .commands import REGISTRY, Session
+from .datatypes import ZSet, type_name
+from .expiry import (
+    FullScanExpiryCycle,
+    IndexedExpiryCycle,
+    LazyExpiryCycle,
+    make_strategy,
+)
+from .keyspace import Database, RandomAccessSet
+from .monitor import MonitorFeed
+from .replication import ReplicationLink, ReplicationManager
+from .server import (
+    RawTransport,
+    StoreClient,
+    StoreServer,
+    TlsTransport,
+    connect_plain,
+    connect_tls,
+)
+from .slowlog import Slowlog
+from .snapshot import dump as snapshot_dump
+from .snapshot import load as snapshot_load
+from .snapshot import snapshot_mentions_key
+from .store import KeyValueStore, StoreConfig
+
+__all__ = [
+    "KeyValueStore",
+    "StoreConfig",
+    "Session",
+    "Database",
+    "RandomAccessSet",
+    "ZSet",
+    "type_name",
+    "REGISTRY",
+    "AofWriter",
+    "AofRewriter",
+    "FsyncPolicy",
+    "replay_commands",
+    "contains_key",
+    "LazyExpiryCycle",
+    "FullScanExpiryCycle",
+    "IndexedExpiryCycle",
+    "make_strategy",
+    "MonitorFeed",
+    "ReplicationManager",
+    "ReplicationLink",
+    "Slowlog",
+    "StoreServer",
+    "StoreClient",
+    "RawTransport",
+    "TlsTransport",
+    "connect_plain",
+    "connect_tls",
+    "snapshot_dump",
+    "snapshot_load",
+    "snapshot_mentions_key",
+]

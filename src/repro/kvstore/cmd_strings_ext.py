@@ -1,0 +1,98 @@
+"""Additional string/hash commands from the Redis 4.0 surface:
+range reads/writes and float increments."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.resp import RespError
+from .commands import CommandContext, command, parse_float, parse_int
+from .datatypes import expect_hash, expect_string
+
+
+def _format_float(value: float) -> bytes:
+    """Redis prints floats with up to 17 significant digits, trimming
+    trailing zeros ('10.5', not '10.50000')."""
+    text = repr(value)
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text.encode("ascii")
+
+
+@command("GETRANGE", arity=4)
+def cmd_getrange(ctx: CommandContext, args: List[bytes]) -> bytes:
+    value = ctx.lookup_read(args[1])
+    if value is None:
+        return b""
+    data = expect_string(value)
+    start = parse_int(args[2])
+    end = parse_int(args[3])
+    if start < 0:
+        start = max(len(data) + start, 0)
+    if end < 0:
+        end = len(data) + end
+    if end < start:
+        return b""
+    return data[start:end + 1]
+
+
+@command("SETRANGE", arity=4, write=True)
+def cmd_setrange(ctx: CommandContext, args: List[bytes]) -> int:
+    offset = parse_int(args[2])
+    if offset < 0:
+        raise RespError("ERR offset is out of range")
+    patch = args[3]
+    existing = ctx.lookup_write(args[1])
+    current = bytearray(expect_string(existing)
+                        if existing is not None else b"")
+    if len(current) < offset:
+        current.extend(b"\x00" * (offset - len(current)))
+    current[offset:offset + len(patch)] = patch
+    ctx.set_value(args[1], bytes(current))
+    return len(current)
+
+
+@command("INCRBYFLOAT", arity=3, write=True)
+def cmd_incrbyfloat(ctx: CommandContext, args: List[bytes]) -> bytes:
+    delta = parse_float(args[2], "ERR value is not a valid float")
+    existing = ctx.lookup_write(args[1])
+    if existing is None:
+        current = 0.0
+    else:
+        raw = expect_string(existing)
+        try:
+            current = float(raw)
+        except ValueError:
+            raise RespError("ERR value is not a valid float")
+    updated = current + delta
+    encoded = _format_float(updated)
+    ctx.set_value(args[1], encoded)
+    return encoded
+
+
+@command("HINCRBY", arity=4, write=True)
+def cmd_hincrby(ctx: CommandContext, args: List[bytes]) -> int:
+    delta = parse_int(args[3])
+    value = ctx.lookup_write(args[1])
+    if value is None:
+        mapping = {}
+        ctx.set_value(args[1], mapping)
+    else:
+        mapping = expect_hash(value)
+    raw = mapping.get(args[2], b"0")
+    try:
+        current = int(raw)
+    except ValueError:
+        raise RespError("ERR hash value is not an integer")
+    updated = current + delta
+    mapping[args[2]] = str(updated).encode("ascii")
+    ctx.mark_dirty()
+    return updated
+
+
+@command("HSTRLEN", arity=3)
+def cmd_hstrlen(ctx: CommandContext, args: List[bytes]) -> int:
+    value = ctx.lookup_read(args[1])
+    if value is None:
+        return 0
+    return len(expect_hash(value).get(args[2], b""))

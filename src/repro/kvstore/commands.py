@@ -1,0 +1,162 @@
+"""Command registry and execution context.
+
+Each command module registers handlers through :func:`command`.  A
+:class:`CommandSpec` carries the Redis-style arity contract (positive =
+exact argument count including the command name, negative = minimum) and a
+``is_write`` flag driving AOF propagation: writes always reach the AOF;
+reads reach it only when the paper's ``aof_log_reads`` extension is on.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..common.errors import ArityError, UnknownCommandError
+from ..common.resp import RespError
+from .datatypes import RedisValue
+from .keyspace import Database
+
+Handler = Callable[["CommandContext", List[bytes]], Any]
+
+REGISTRY: Dict[bytes, "CommandSpec"] = {}
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    name: bytes
+    handler: Handler
+    arity: int
+    is_write: bool
+    touches_keyspace: bool = True
+
+    def check_arity(self, argc: int) -> None:
+        if self.arity >= 0:
+            if argc != self.arity:
+                raise ArityError(
+                    f"ERR wrong number of arguments for "
+                    f"'{self.name.decode().lower()}' command")
+        elif argc < -self.arity:
+            raise ArityError(
+                f"ERR wrong number of arguments for "
+                f"'{self.name.decode().lower()}' command")
+
+
+def command(name: str, arity: int, write: bool = False,
+            touches_keyspace: bool = True) -> Callable[[Handler], Handler]:
+    """Decorator registering a handler under ``name`` (case-insensitive)."""
+
+    def register(handler: Handler) -> Handler:
+        key = name.upper().encode()
+        if key in REGISTRY:
+            raise ValueError(f"duplicate command registration: {name}")
+        REGISTRY[key] = CommandSpec(name=key, handler=handler, arity=arity,
+                                    is_write=write,
+                                    touches_keyspace=touches_keyspace)
+        return handler
+
+    return register
+
+
+def lookup(name: bytes) -> CommandSpec:
+    spec = REGISTRY.get(name.upper())
+    if spec is None:
+        raise UnknownCommandError(
+            f"ERR unknown command '{name.decode('utf-8', 'replace')}'")
+    return spec
+
+
+class Session:
+    """Per-client state: the selected database and MONITOR flag."""
+
+    def __init__(self, db_index: int = 0) -> None:
+        self.db_index = db_index
+        self.monitoring = False
+
+
+class CommandContext:
+    """Everything a handler needs: the store, the session, and helpers
+    that route keyspace access through lazy-expiry and dirty tracking."""
+
+    __slots__ = ("store", "session", "now", "dirty")
+
+    def __init__(self, store, session: Session, now: float) -> None:
+        self.store = store
+        self.session = session
+        self.now = now
+        self.dirty = 0
+
+    @property
+    def db(self) -> Database:
+        return self.store.databases[self.session.db_index]
+
+    def mark_dirty(self, count: int = 1) -> None:
+        self.dirty += count
+
+    # -- keyspace helpers (lazy expiry applied) --------------------------------
+
+    def lookup_read(self, key: bytes) -> Optional[RedisValue]:
+        return self.store.lookup_key(self.db, key, self.now, for_read=True)
+
+    def lookup_write(self, key: bytes) -> Optional[RedisValue]:
+        return self.store.lookup_key(self.db, key, self.now, for_read=False)
+
+    def set_value(self, key: bytes, value: RedisValue) -> None:
+        self.db.set_value(key, value)
+        self.mark_dirty()
+
+    def delete(self, key: bytes) -> bool:
+        existed = self.store.delete_key(self.db, key, reason="del")
+        if existed:
+            self.mark_dirty()
+        return existed
+
+    def set_expiry(self, key: bytes, expire_at: float) -> None:
+        self.store.set_key_expiry(self.db, key, expire_at)
+        self.mark_dirty()
+
+
+# -- shared argument parsing -----------------------------------------------------
+
+
+def parse_int(raw: bytes, message: str = "ERR value is not an integer "
+                                         "or out of range") -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise RespError(message)
+
+
+def parse_float(raw: bytes, message: str = "ERR value is not a valid "
+                                           "float") -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise RespError(message)
+
+
+def glob_match(pattern: bytes, key: bytes) -> bool:
+    """Redis KEYS/SCAN glob matching (via fnmatch on latin-1 text)."""
+    return fnmatch.fnmatchcase(key.decode("latin-1"),
+                               pattern.decode("latin-1"))
+
+
+def normalize_args(args: Sequence[Any]) -> List[bytes]:
+    """Coerce caller-friendly arguments (str/int/float) to bytes."""
+    out: List[bytes] = []
+    for arg in args:
+        if isinstance(arg, bytes):
+            out.append(arg)
+        elif isinstance(arg, str):
+            out.append(arg.encode("utf-8"))
+        elif isinstance(arg, bool):
+            raise TypeError("bool is not a valid command argument")
+        elif isinstance(arg, int):
+            out.append(str(arg).encode("ascii"))
+        elif isinstance(arg, float):
+            out.append(repr(arg).encode("ascii"))
+        else:
+            raise TypeError(
+                f"unsupported argument type {type(arg).__name__}")
+    return out

@@ -1,0 +1,158 @@
+"""Asynchronous primary -> replica replication.
+
+GDPR's right to be forgotten "demands that the requested data be erased
+in a timely manner **including all its replicas and backups**" (paper
+section 2.1).  That makes replication lag a *compliance* property, not
+just an availability one: a DEL on the primary leaves the data readable
+on replicas until the replication stream catches up.
+
+The model mirrors Redis async replication:
+
+* the primary emits its effective-write stream (post-translation, so
+  expirations travel as DELs and relative TTLs as absolute PEXPIREAT);
+* each :class:`ReplicationLink` delivers that stream over a simulated
+  channel with configurable one-way delay, applying commands in order;
+* replicas are full stores of their own (reads work, their cron does NOT
+  expire keys actively -- like Redis replicas, they wait for the
+  primary's DELs).
+
+:meth:`ReplicationManager.erasure_horizon` answers the compliance
+question directly: given a key deleted on the primary at time t, when did
+the *last* replica stop serving it?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..common.clock import Clock
+from .commands import Session
+from .store import KeyValueStore
+
+
+@dataclass
+class ReplicaStats:
+    commands_applied: int = 0
+    bytes_applied: int = 0
+    last_applied_at: float = 0.0
+
+
+class ReplicationLink:
+    """One replica and its in-flight command queue."""
+
+    def __init__(self, name: str, replica: KeyValueStore, clock: Clock,
+                 delay: float = 0.001) -> None:
+        if delay < 0:
+            raise ValueError("replication delay cannot be negative")
+        self.name = name
+        self.replica = replica
+        self.clock = clock
+        self.delay = delay
+        self.stats = ReplicaStats()
+        self._queue: Deque[Tuple[float, int, List[bytes]]] = deque()
+        self._session = Session()
+
+    def enqueue(self, db_index: int, argv: List[bytes]) -> None:
+        deliver_at = self.clock.now() + self.delay
+        self._queue.append((deliver_at, db_index, argv))
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def lag(self) -> float:
+        """Seconds until the oldest queued command lands (0 if none)."""
+        if not self._queue:
+            return 0.0
+        return max(self._queue[0][0] - self.clock.now(), 0.0)
+
+    def pump(self) -> int:
+        """Apply every command whose delivery time has arrived."""
+        now = self.clock.now()
+        applied = 0
+        while self._queue and self._queue[0][0] <= now:
+            _, db_index, argv = self._queue.popleft()
+            if self._session.db_index != db_index:
+                self._session.db_index = db_index
+            self.replica.execute(*argv, session=self._session)
+            self.stats.commands_applied += 1
+            self.stats.bytes_applied += sum(len(a) for a in argv)
+            self.stats.last_applied_at = now
+            applied += 1
+        return applied
+
+
+class ReplicationManager:
+    """Fans the primary's write stream out to replica links."""
+
+    def __init__(self, primary: KeyValueStore) -> None:
+        self.primary = primary
+        self.clock = primary.clock
+        self.links: Dict[str, ReplicationLink] = {}
+        primary.add_write_listener(self._on_write)
+
+    def add_replica(self, name: str, delay: float = 0.001,
+                    replica: Optional[KeyValueStore] = None
+                    ) -> ReplicationLink:
+        if name in self.links:
+            raise ValueError(f"replica {name!r} already attached")
+        if replica is None:
+            from .store import StoreConfig
+
+            replica = KeyValueStore(StoreConfig(), clock=self.clock)
+        link = ReplicationLink(name, replica, self.clock, delay)
+        self.links[name] = link
+        return link
+
+    def remove_replica(self, name: str) -> bool:
+        return self.links.pop(name, None) is not None
+
+    def _on_write(self, db_index: int, argv: List[bytes]) -> None:
+        for link in self.links.values():
+            link.enqueue(db_index, argv)
+
+    def pump(self) -> int:
+        """Deliver due commands on every link; returns commands applied."""
+        return sum(link.pump() for link in self.links.values())
+
+    def full_sync(self, name: str) -> int:
+        """Initial synchronization: copy a snapshot to the named replica
+        (Redis' RDB-based full resync)."""
+        link = self.links[name]
+        snapshot = self.primary.save_snapshot()
+        return link.replica.load_snapshot(snapshot)
+
+    # -- compliance-oriented queries -----------------------------------------------
+
+    def key_visible_anywhere(self, key: bytes, db_index: int = 0) -> bool:
+        """Is the key still readable on the primary or any replica?"""
+        now = self.clock.now()
+        stores = [self.primary] + [l.replica for l in self.links.values()]
+        for store in stores:
+            db = store.databases[db_index]
+            if key in db and not store.key_is_expired(db, key, now):
+                return True
+        return False
+
+    def erasure_horizon(self, key: bytes, step: float = 0.001,
+                        max_wait: float = 60.0,
+                        db_index: int = 0) -> Optional[float]:
+        """Simulated seconds until ``key`` is gone everywhere.
+
+        Call immediately after deleting the key on the primary.  Advances
+        the clock in ``step`` increments, pumping replication, until no
+        store serves the key; None if ``max_wait`` elapses first.
+        """
+        start = self.clock.now()
+        while self.clock.now() - start <= max_wait:
+            self.pump()
+            if not self.key_visible_anywhere(key, db_index):
+                return self.clock.now() - start
+            self.clock.advance(step)
+        return None
+
+    def max_lag(self) -> float:
+        return max((link.lag() for link in self.links.values()),
+                   default=0.0)

@@ -1,0 +1,176 @@
+"""RESP server and client over simulated transports.
+
+This is the deployment surface the paper's encryption experiment measures:
+YCSB (the client) talks RESP to Redis (the server) over the network, either
+directly or through stunnel TLS proxies.  Both endpoints run in one process
+here; :meth:`StoreClient.call` performs a full simulated round trip
+(request transmit -> server execute -> reply transmit), so the simulated
+clock sees exactly the latency a closed-loop client would.
+
+MONITOR is implemented as in Redis: a client that issues MONITOR is
+switched to a feed of every subsequent command, streamed over its own
+transport (hence over TLS when the deployment is proxied -- the cost the
+paper notes when rejecting MONITOR for audit logging).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..common.errors import StoreError
+from ..common.resp import RespDecoder, RespError, encode, encode_command
+from ..net.channel import Endpoint
+from ..net.tls import TlsSession
+from .commands import Session
+from .store import KeyValueStore
+
+
+class RawTransport:
+    """Plaintext transport over a channel endpoint."""
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self._endpoint = endpoint
+
+    def send(self, data: bytes) -> None:
+        self._endpoint.send(data)
+
+    def recv_available(self) -> bytes:
+        return self._endpoint.recv()
+
+
+class TlsTransport:
+    """Encrypted transport over a TLS session."""
+
+    def __init__(self, session: TlsSession) -> None:
+        self._session = session
+
+    def send(self, data: bytes) -> None:
+        self._session.send(data)
+
+    def recv_available(self) -> bytes:
+        return self._session.recv_all()
+
+
+class ServerConnection:
+    """Server-side state for one client connection."""
+
+    def __init__(self, transport, session: Session) -> None:
+        self.transport = transport
+        self.session = session
+        self.decoder = RespDecoder()
+        self._monitor_sink = None
+
+
+class StoreServer:
+    """Serves a :class:`KeyValueStore` to any number of connections."""
+
+    def __init__(self, store: KeyValueStore) -> None:
+        self.store = store
+        self.connections: List[ServerConnection] = []
+
+    def accept(self, transport) -> ServerConnection:
+        conn = ServerConnection(transport, self.store.session())
+        self.connections.append(conn)
+        return conn
+
+    def pump(self) -> int:
+        """Process every complete pending request; returns requests served."""
+        served = 0
+        for conn in self.connections:
+            conn.decoder.feed(conn.transport.recv_available())
+            while True:
+                found, value = conn.decoder.next_value()
+                if not found:
+                    break
+                served += 1
+                self._serve(conn, value)
+        return served
+
+    def _serve(self, conn: ServerConnection, request: Any) -> None:
+        if (not isinstance(request, list) or not request
+                or not all(isinstance(a, bytes) for a in request)):
+            conn.transport.send(encode(RespError(
+                "ERR protocol error: expected a command array")))
+            return
+        name = request[0].upper()
+        if name == b"MONITOR":
+            self._start_monitor(conn)
+            return
+        try:
+            reply = self.store.execute(*request, session=conn.session)
+        except RespError as exc:
+            conn.transport.send(encode(exc))
+            return
+        except StoreError as exc:
+            message = str(exc)
+            if not message.split(" ", 1)[0].isupper():
+                message = "ERR " + message
+            conn.transport.send(encode(RespError(message)))
+            return
+        conn.transport.send(encode(reply))
+
+    def _start_monitor(self, conn: ServerConnection) -> None:
+        conn.session.monitoring = True
+        sink = conn.transport.send
+        conn._monitor_sink = sink
+        self.store.monitor.attach(sink)
+        conn.transport.send(b"+OK\r\n")
+
+    def stop_monitor(self, conn: ServerConnection) -> None:
+        if conn._monitor_sink is not None:
+            self.store.monitor.detach(conn._monitor_sink)
+            conn._monitor_sink = None
+            conn.session.monitoring = False
+
+
+class StoreClient:
+    """Closed-loop RESP client: each call is one simulated round trip."""
+
+    def __init__(self, transport, server: StoreServer) -> None:
+        self._transport = transport
+        self._server = server
+        self._decoder = RespDecoder()
+
+    def call(self, *args: Any, raise_errors: bool = True) -> Any:
+        self._transport.send(encode_command(*_coerce(args)))
+        self._server.pump()
+        self._decoder.feed(self._transport.recv_available())
+        found, value = self._decoder.next_value()
+        if not found:
+            raise RespError("ERR no reply received")
+        if raise_errors and isinstance(value, RespError):
+            raise value
+        return value
+
+
+def _coerce(args) -> List[bytes]:
+    out = []
+    for arg in args:
+        if isinstance(arg, bytes):
+            out.append(arg)
+        elif isinstance(arg, str):
+            out.append(arg.encode("utf-8"))
+        elif isinstance(arg, (int, float)):
+            out.append(str(arg).encode("ascii"))
+        else:
+            raise TypeError(f"bad argument type {type(arg).__name__}")
+    return out
+
+
+def connect_plain(store: KeyValueStore, channel) -> StoreClient:
+    """Wire a client to ``store`` over a raw channel."""
+    client_end, server_end = channel.endpoints()
+    server = StoreServer(store)
+    server.accept(RawTransport(server_end))
+    return StoreClient(RawTransport(client_end), server)
+
+
+def connect_tls(store: KeyValueStore, channel, psk: bytes,
+                clock=None) -> StoreClient:
+    """Wire a client to ``store`` through TLS sessions on ``channel``."""
+    from ..net.tls import establish_session_pair
+    client_session, server_session = establish_session_pair(
+        channel, psk, clock=clock if clock is not None else channel.clock)
+    server = StoreServer(store)
+    server.accept(TlsTransport(server_session))
+    return StoreClient(TlsTransport(client_session), server)

@@ -1,0 +1,65 @@
+"""SLOWLOG: Redis' in-memory log of slow command executions.
+
+Section 4.1 of the paper evaluates slowlog (with threshold 0, i.e. log
+everything) as a candidate audit mechanism and rejects it: entries live in
+a bounded in-memory ring, so it is neither durable nor complete.  The
+implementation here reproduces both the mechanism and those limitations so
+the micro-benchmark can compare it fairly against AOF-based logging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence
+
+
+@dataclass(frozen=True)
+class SlowlogEntry:
+    entry_id: int
+    timestamp: float
+    duration: float
+    args: tuple
+
+
+class Slowlog:
+    """Bounded ring of commands slower than ``threshold`` seconds.
+
+    ``threshold=0`` logs every command (the paper's audit configuration);
+    ``threshold < 0`` disables logging, both as in Redis.
+    """
+
+    def __init__(self, threshold: float = 10e-3, max_len: int = 128,
+                 record_cost: float = 0.0) -> None:
+        self.threshold = threshold
+        self.max_len = max_len
+        self.record_cost = record_cost
+        self._entries: Deque[SlowlogEntry] = deque(maxlen=max_len)
+        self._next_id = 0
+        self.total_recorded = 0
+
+    def maybe_record(self, timestamp: float, duration: float,
+                     args: Sequence[bytes]) -> bool:
+        if self.threshold < 0 or duration < self.threshold:
+            return False
+        self._entries.appendleft(SlowlogEntry(
+            entry_id=self._next_id, timestamp=timestamp,
+            duration=duration, args=tuple(args)))
+        self._next_id += 1
+        self.total_recorded += 1
+        return True
+
+    def get(self, count: int = 10) -> List[SlowlogEntry]:
+        """Most recent entries first, like SLOWLOG GET."""
+        return list(self._entries)[:count]
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dropped(self) -> int:
+        """Entries lost to the ring bound -- the audit-completeness gap."""
+        return self.total_recorded - len(self._entries)

@@ -1,0 +1,169 @@
+"""RDB-style point-in-time snapshots with integrity checksums.
+
+The binary layout is a simplified RDB: a magic/version header, per-database
+sections, length-prefixed records with a type tag and optional expiry, and
+a trailing CRC-32 over everything before it.  Snapshots matter to the GDPR
+analysis because they are one of the "internal subsystems" where deleted
+personal data can outlive a DEL (section 4.3); the GDPR layer therefore
+tracks snapshot lineage and the erasure engine can force re-dumps.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..common.errors import CorruptionError
+from ..common.hashing import crc32_of
+from .datatypes import (
+    TYPE_HASH,
+    TYPE_LIST,
+    TYPE_SET,
+    TYPE_STRING,
+    TYPE_ZSET,
+    RedisValue,
+    ZSet,
+    type_name,
+)
+from .keyspace import Database
+
+MAGIC = b"REPRODB1"
+
+_TYPE_CODES = {TYPE_STRING: 0, TYPE_HASH: 1, TYPE_LIST: 2, TYPE_SET: 3,
+               TYPE_ZSET: 4}
+_CODE_TYPES = {v: k for k, v in _TYPE_CODES.items()}
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+
+def _pack_bytes(out: List[bytes], data: bytes) -> None:
+    out.append(_U32.pack(len(data)))
+    out.append(data)
+
+
+def _pack_value(out: List[bytes], value: RedisValue) -> None:
+    kind = type_name(value)
+    out.append(bytes([_TYPE_CODES[kind]]))
+    if kind == TYPE_STRING:
+        _pack_bytes(out, value)
+    elif kind == TYPE_HASH:
+        out.append(_U32.pack(len(value)))
+        for field in sorted(value):
+            _pack_bytes(out, field)
+            _pack_bytes(out, value[field])
+    elif kind == TYPE_LIST:
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _pack_bytes(out, item)
+    elif kind == TYPE_SET:
+        out.append(_U32.pack(len(value)))
+        for item in sorted(value):
+            _pack_bytes(out, item)
+    else:  # zset
+        out.append(_U32.pack(len(value)))
+        for member, score in value.items():
+            _pack_bytes(out, member)
+            out.append(_F64.pack(score))
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise CorruptionError("snapshot truncated")
+        chunk = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def byte(self) -> int:
+        return self.take(1)[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+def dump(databases: List[Database]) -> bytes:
+    """Serialize databases to snapshot bytes (CRC-terminated)."""
+    out: List[bytes] = [MAGIC]
+    populated = [db for db in databases if len(db) > 0]
+    out.append(_U32.pack(len(populated)))
+    for db in populated:
+        out.append(_U32.pack(db.index))
+        out.append(_U64.pack(len(db)))
+        for key in db.keys():
+            _pack_bytes(out, key)
+            expire_at = db.get_expiry(key)
+            if expire_at is None:
+                out.append(b"\x00")
+            else:
+                out.append(b"\x01")
+                out.append(_F64.pack(expire_at))
+            _pack_value(out, db.get_value(key))
+    body = b"".join(out)
+    return body + _U32.pack(crc32_of(body))
+
+
+def load(data: bytes) -> List[Tuple[int, bytes, Optional[float], RedisValue]]:
+    """Parse snapshot bytes into (db_index, key, expire_at, value) tuples.
+
+    Verifies the trailing CRC before trusting any byte.
+    """
+    if len(data) < len(MAGIC) + 8:
+        raise CorruptionError("snapshot too small")
+    body, crc_bytes = data[:-4], data[-4:]
+    if crc32_of(body) != _U32.unpack(crc_bytes)[0]:
+        raise CorruptionError("snapshot CRC mismatch")
+    reader = _Reader(body)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise CorruptionError("bad snapshot magic")
+    entries: List[Tuple[int, bytes, Optional[float], RedisValue]] = []
+    for _ in range(reader.u32()):
+        db_index = reader.u32()
+        for _ in range(reader.u64()):
+            key = reader.blob()
+            expire_at = reader.f64() if reader.byte() == 1 else None
+            kind = _CODE_TYPES.get(reader.byte())
+            if kind is None:
+                raise CorruptionError("unknown value type code")
+            value: RedisValue
+            if kind == TYPE_STRING:
+                value = reader.blob()
+            elif kind == TYPE_HASH:
+                value = {reader.blob(): reader.blob()
+                         for _ in range(reader.u32())}
+                # Note: dict comprehension evaluates key then value in
+                # insertion order, matching _pack_value's layout.
+            elif kind == TYPE_LIST:
+                value = [reader.blob() for _ in range(reader.u32())]
+            elif kind == TYPE_SET:
+                value = {reader.blob() for _ in range(reader.u32())}
+            else:
+                value = ZSet()
+                for _ in range(reader.u32()):
+                    member = reader.blob()
+                    value.add(member, reader.f64())
+            entries.append((db_index, key, expire_at, value))
+    return entries
+
+
+def snapshot_mentions_key(data: bytes, key: bytes) -> bool:
+    """Does the snapshot still contain ``key``?  (Section 4.3 audit.)"""
+    return any(entry_key == key for _, entry_key, _, _ in load(data))

@@ -1,0 +1,462 @@
+"""The key-value store facade: databases, commands, persistence, cron.
+
+:class:`KeyValueStore` is the reproduction's stand-in for Redis 4.0.11.  It
+wires the keyspace, command table, AOF, snapshotting, slowlog, MONITOR, and
+the pluggable active-expiry strategy behind one ``execute`` entry point,
+and runs background work (expiry cycles, everysec fsync, AOF auto-rewrite)
+from a cron driven by its clock -- the same serverCron structure Redis has.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..common.clock import Clock, SimClock
+from ..common.errors import PersistenceError
+from ..device.append_log import AppendLog
+from . import cmd_admin  # noqa: F401  (imports register commands)
+from . import cmd_collections  # noqa: F401
+from . import cmd_hash  # noqa: F401
+from . import cmd_keys  # noqa: F401
+from . import cmd_strings  # noqa: F401
+from . import cmd_strings_ext  # noqa: F401
+from .aof import AofRewriter, AofWriter, FsyncPolicy, replay_commands
+from .commands import CommandContext, Session, lookup, normalize_args
+from .datatypes import RedisValue
+from .expiry import ExpiryStrategy, make_strategy
+from .keyspace import Database
+from .monitor import MonitorFeed
+from .slowlog import Slowlog
+from . import snapshot as snapshot_format
+
+DeletionListener = Callable[[int, bytes, str, float], None]
+# (db_index, translated argv) for every effective write -- the stream a
+# replica applies.  Commands arrive post-translation (PEXPIREAT, DELs for
+# expirations) so replicas converge deterministically, as in Redis.
+WriteListener = Callable[[int, List[bytes]], None]
+
+
+@dataclass
+class StoreConfig:
+    """Tunable server configuration (the paper's experiment knobs).
+
+    ``appendonly`` + ``appendfsync`` + ``aof_log_reads`` span the paper's
+    monitoring configurations; ``expiry_strategy`` spans Figure 2;
+    ``aof_rewrite_interval`` is the section 4.3 periodic-compaction bound.
+    """
+
+    databases: int = 16
+    hz: int = 10
+    appendonly: bool = False
+    appendfsync: str = "everysec"
+    aof_log_reads: bool = False
+    aof_record_base_cost: float = 0.0
+    aof_record_per_byte_cost: float = 0.0
+    auto_aof_rewrite_percentage: int = 0   # 0 disables growth-based rewrite
+    auto_aof_rewrite_min_size: int = 1 << 20
+    aof_rewrite_interval: float = 0.0      # seconds; 0 disables periodic
+    expiry_strategy: str = "lazy"
+    command_cpu_cost: float = 0.0
+    slowlog_threshold: float = 10e-3
+    slowlog_max_len: int = 128
+    seed: int = 0
+    extra: Dict[str, str] = field(default_factory=dict)
+
+
+class StoreStats:
+    def __init__(self) -> None:
+        self.commands_processed = 0
+        self.expired_keys = 0
+        self.deleted_keys = 0
+        self.keyspace_hits = 0
+        self.keyspace_misses = 0
+
+
+class KeyValueStore:
+    """A single-node, single-threaded key-value store."""
+
+    def __init__(self, config: Optional[StoreConfig] = None,
+                 clock: Optional[Clock] = None,
+                 aof_log: Optional[AppendLog] = None) -> None:
+        self.config = config if config is not None else StoreConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = random.Random(self.config.seed)
+        self.databases = [Database(i) for i in range(self.config.databases)]
+        self.stats = StoreStats()
+        self.slowlog = Slowlog(threshold=self.config.slowlog_threshold,
+                               max_len=self.config.slowlog_max_len)
+        self.monitor = MonitorFeed(clock=self.clock)
+        self.expiry: ExpiryStrategy = make_strategy(
+            self.config.expiry_strategy, hz=self.config.hz,
+            rng=random.Random(self.config.seed + 1))
+        self.aof: Optional[AofWriter] = None
+        self.aof_log: Optional[AppendLog] = None
+        if self.config.appendonly:
+            self.aof_log = aof_log if aof_log is not None else AppendLog(
+                clock=self.clock)
+            self.aof = AofWriter(
+                self.aof_log, self.clock,
+                policy=FsyncPolicy.parse(self.config.appendfsync),
+                log_reads=self.config.aof_log_reads,
+                record_base_cost=self.config.aof_record_base_cost,
+                record_per_byte_cost=self.config.aof_record_per_byte_cost)
+        self.last_snapshot: Optional[bytes] = None
+        self.last_snapshot_at: Optional[float] = None
+        self.deletion_listeners: List[DeletionListener] = []
+        self.write_listeners: List[WriteListener] = []
+        self._default_session = Session()
+        self._loading = False
+        self._last_cron = self.clock.now()
+        self._last_rewrite = self.clock.now()
+        self._aof_base_size = 0
+        self.rewrites_completed = 0
+
+    # -- command execution -------------------------------------------------------
+
+    def session(self, db_index: int = 0) -> Session:
+        """A fresh client session (its own SELECTed database)."""
+        return Session(db_index)
+
+    def execute(self, *args: Any, session: Optional[Session] = None) -> Any:
+        """Execute one command; raises on protocol/type errors.
+
+        Accepts str/bytes/int/float arguments for convenience; everything
+        is normalized to bytes before dispatch, as over the wire.
+        """
+        argv = normalize_args(args)
+        if not argv:
+            raise ValueError("empty command")
+        spec = lookup(argv[0])
+        spec.check_arity(len(argv))
+        if session is None:
+            session = self._default_session
+        start = self.clock.now()
+        if self.config.command_cpu_cost:
+            self.clock.advance(self.config.command_cpu_cost)
+        ctx = CommandContext(self, session, start)
+        reply = spec.handler(ctx, argv)
+        duration = self.clock.now() - start
+        self.stats.commands_processed += 1
+        self.slowlog.maybe_record(start, duration, argv)
+        self.monitor.publish(start, session.db_index, argv)
+        if spec.touches_keyspace and not self._loading:
+            effective_write = spec.is_write and ctx.dirty > 0
+            records: Optional[List[List[bytes]]] = None
+            if self.aof is not None or (effective_write
+                                        and self.write_listeners):
+                records = self._aof_records(spec, argv, session,
+                                            effective_write)
+            if self.aof is not None:
+                for record in records:
+                    self.aof.feed_command(session.db_index, record,
+                                          is_write=effective_write)
+                self.aof.post_command()
+                if effective_write \
+                        and self.config.auto_aof_rewrite_percentage:
+                    # Growth-based rewrite is checked on the write path
+                    # (not only in cron) so it also fires under zero-cost
+                    # clocks.
+                    self._maybe_auto_rewrite(self.clock.now())
+            if effective_write and self.write_listeners:
+                for record in records:
+                    for listener in self.write_listeners:
+                        listener(session.db_index, record)
+        self.tick()
+        return reply
+
+    _EXPIRE_FAMILY = (b"EXPIRE", b"PEXPIRE", b"EXPIREAT", b"PEXPIREAT")
+
+    def _aof_records(self, spec, argv: List[bytes], session: Session,
+                     effective_write: bool) -> List[List[bytes]]:
+        """Translate a command into its AOF representation.
+
+        Relative expiries are rewritten to absolute PEXPIREAT (as Redis
+        does) so replaying at a later time preserves deadlines instead of
+        restarting them.  Non-writes pass through verbatim: they are audit
+        records, not state transitions.
+        """
+        if not effective_write:
+            return [argv]
+        name = spec.name
+        db = self.databases[session.db_index]
+        if name in self._EXPIRE_FAMILY:
+            key = argv[1]
+            expire_at = db.get_expiry(key)
+            if expire_at is None:
+                # The command deleted the key outright (TTL in the past).
+                return [[b"DEL", key]]
+            millis = str(int(expire_at * 1000)).encode("ascii")
+            return [[b"PEXPIREAT", key, millis]]
+        if name in (b"SETEX", b"PSETEX") or (name == b"SET" and len(argv) > 3):
+            key, value = argv[1], argv[3] if name != b"SET" else argv[2]
+            records = [[b"SET", key, value]]
+            expire_at = db.get_expiry(key)
+            if expire_at is not None:
+                millis = str(int(expire_at * 1000)).encode("ascii")
+                records.append([b"PEXPIREAT", key, millis])
+            return records
+        return [argv]
+
+    # -- keyspace access with lazy expiry ----------------------------------------
+
+    def key_is_expired(self, db: Database, key: bytes, now: float) -> bool:
+        expire_at = db.get_expiry(key)
+        return expire_at is not None and expire_at <= now
+
+    def expire_if_needed(self, db: Database, key: bytes, now: float) -> bool:
+        """Lazy expiration: reclaim the key if its TTL has passed."""
+        if not self.key_is_expired(db, key, now):
+            return False
+        self._reclaim_expired(db, key, reason="lazy-expire")
+        return True
+
+    def lookup_key(self, db: Database, key: bytes, now: float,
+                   for_read: bool) -> Optional[RedisValue]:
+        self.expire_if_needed(db, key, now)
+        value = db.get_value(key)
+        if for_read:
+            if value is None:
+                db.misses += 1
+                self.stats.keyspace_misses += 1
+            else:
+                db.hits += 1
+                self.stats.keyspace_hits += 1
+        return value
+
+    def delete_key(self, db: Database, key: bytes,
+                   reason: str = "del") -> bool:
+        existed = db.remove(key)
+        if existed:
+            self.expiry.note_expiry_cleared(key)
+            self.stats.deleted_keys += 1
+            now = self.clock.now()
+            for listener in self.deletion_listeners:
+                listener(db.index, key, reason, now)
+        return existed
+
+    def set_key_expiry(self, db: Database, key: bytes,
+                       expire_at: float) -> None:
+        db.set_expiry(key, expire_at)
+        self.expiry.note_expiry_set(key, expire_at)
+
+    def clear_key_expiry(self, db: Database, key: bytes) -> bool:
+        cleared = db.clear_expiry(key)
+        if cleared:
+            self.expiry.note_expiry_cleared(key)
+        return cleared
+
+    def flush_database(self, db: Database) -> int:
+        dropped = db.flush()
+        self.expiry.note_flush()
+        self.stats.deleted_keys += dropped
+        return dropped
+
+    def _reclaim_expired(self, db: Database, key: bytes,
+                         reason: str) -> None:
+        """Shared path for lazy and active expiration: delete + propagate."""
+        self.delete_key(db, key, reason=reason)
+        self.stats.expired_keys += 1
+        if self._loading:
+            return
+        # Redis propagates expirations as explicit DELs so replicas and
+        # the AOF converge deterministically.
+        if self.aof is not None:
+            self.aof.feed_command(db.index, [b"DEL", key], is_write=True)
+        for listener in self.write_listeners:
+            listener(db.index, [b"DEL", key])
+
+    # -- cron ---------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Run due background work.  Called after each command; callers
+        driving long idle periods should call it after advancing the
+        clock."""
+        now = self.clock.now()
+        if self.aof is not None:
+            self.aof.tick(now)
+        if now - self._last_cron >= 1.0 / self.config.hz:
+            self._last_cron = now
+            self.cron(now)
+
+    def cron(self, now: Optional[float] = None) -> int:
+        """One serverCron iteration; returns keys actively expired."""
+        if now is None:
+            now = self.clock.now()
+        expired = 0
+        for db in self.databases:
+            if db.volatile_count == 0:
+                continue
+            expired += self.expiry.run_cycle(db, now, self.clock,
+                                             self._on_active_expire)
+        if self.aof is not None:
+            if expired:
+                self.aof.post_command()
+            self._maybe_auto_rewrite(now)
+        return expired
+
+    def _on_active_expire(self, db: Database, key: bytes) -> None:
+        self._reclaim_expired(db, key, reason="active-expire")
+
+    def _maybe_auto_rewrite(self, now: float) -> None:
+        interval = self.config.aof_rewrite_interval
+        if interval and now - self._last_rewrite >= interval:
+            self.rewrite_aof()
+            return
+        pct = self.config.auto_aof_rewrite_percentage
+        if pct and self.aof_log is not None:
+            size = self.aof_log.total_length
+            base = max(self._aof_base_size,
+                       self.config.auto_aof_rewrite_min_size)
+            if size >= base * (1 + pct / 100.0):
+                self.rewrite_aof()
+
+    # -- persistence ----------------------------------------------------------------
+
+    def rewrite_aof(self) -> int:
+        """BGREWRITEAOF: compact the AOF to current live state."""
+        if self.aof_log is None:
+            raise PersistenceError("AOF is not enabled")
+        size = AofRewriter(self).rewrite_into(self.aof_log)
+        self._aof_base_size = size
+        self._last_rewrite = self.clock.now()
+        self.rewrites_completed += 1
+        return size
+
+    def replay_aof(self, data: Optional[bytes] = None,
+                   tolerate_truncated_tail: bool = True) -> int:
+        """Rebuild state from AOF bytes (defaults to the attached log's
+        durable content).  Returns the number of commands replayed."""
+        if data is None:
+            if self.aof_log is None:
+                raise PersistenceError("AOF is not enabled")
+            data = self.aof_log.read_durable()
+        commands = replay_commands(
+            data, tolerate_truncated_tail=tolerate_truncated_tail)
+        session = Session()
+        self._loading = True
+        try:
+            for argv in commands:
+                self.execute(*argv, session=session)
+        finally:
+            self._loading = False
+        return len(commands)
+
+    def save_snapshot(self) -> bytes:
+        """RDB-style SAVE: serialize all databases."""
+        data = snapshot_format.dump(self.databases)
+        self.last_snapshot = data
+        self.last_snapshot_at = self.clock.now()
+        return data
+
+    def load_snapshot(self, data: bytes) -> int:
+        """Restore databases from snapshot bytes; returns keys loaded."""
+        entries = snapshot_format.load(data)
+        for db in self.databases:
+            db.flush()
+        self.expiry.note_flush()
+        count = 0
+        for db_index, key, expire_at, value in entries:
+            db = self.databases[db_index]
+            db.set_value(key, value)
+            if expire_at is not None:
+                self.set_key_expiry(db, key, expire_at)
+            count += 1
+        return count
+
+    # -- configuration & introspection --------------------------------------------
+
+    def config_items(self) -> Dict[str, str]:
+        cfg = self.config
+        return {
+            "appendonly": "yes" if cfg.appendonly else "no",
+            "appendfsync": cfg.appendfsync,
+            "aof-log-reads": "yes" if cfg.aof_log_reads else "no",
+            "hz": str(cfg.hz),
+            "active-expiry-strategy": cfg.expiry_strategy,
+            "auto-aof-rewrite-percentage":
+                str(cfg.auto_aof_rewrite_percentage),
+            "aof-rewrite-interval": str(cfg.aof_rewrite_interval),
+            "slowlog-log-slower-than":
+                str(int(cfg.slowlog_threshold * 1e6)),
+            "slowlog-max-len": str(cfg.slowlog_max_len),
+            "databases": str(cfg.databases),
+        }
+
+    def config_set(self, name: str, value: str) -> None:
+        from ..common.resp import RespError
+        name = name.lower()
+        if name == "appendfsync":
+            policy = FsyncPolicy.parse(value)
+            self.config.appendfsync = policy.value
+            if self.aof is not None:
+                self.aof.policy = policy
+        elif name == "aof-log-reads":
+            flag = value.lower() in ("yes", "true", "1")
+            self.config.aof_log_reads = flag
+            if self.aof is not None:
+                self.aof.log_reads = flag
+        elif name == "hz":
+            self.config.hz = max(1, int(value))
+        elif name == "active-expiry-strategy":
+            self.config.expiry_strategy = value
+            self.expiry = make_strategy(value, hz=self.config.hz,
+                                        rng=random.Random(
+                                            self.config.seed + 1))
+            # Rebuild auxiliary indexes from authoritative expires dicts.
+            for db in self.databases:
+                for key, expire_at in db.expires.items():
+                    self.expiry.note_expiry_set(key, expire_at)
+        elif name == "slowlog-log-slower-than":
+            micros = int(value)
+            self.config.slowlog_threshold = micros / 1e6 if micros >= 0 else -1
+            self.slowlog.threshold = self.config.slowlog_threshold
+        elif name == "slowlog-max-len":
+            self.config.slowlog_max_len = int(value)
+        elif name == "auto-aof-rewrite-percentage":
+            self.config.auto_aof_rewrite_percentage = int(value)
+        elif name == "aof-rewrite-interval":
+            self.config.aof_rewrite_interval = float(value)
+        else:
+            raise RespError(f"ERR Unsupported CONFIG parameter: {name}")
+
+    def info_text(self) -> str:
+        lines = [
+            "# Server",
+            "repro_version:1.0.0",
+            f"sim_time:{self.clock.now():.6f}",
+            "",
+            "# Persistence",
+            f"aof_enabled:{1 if self.aof is not None else 0}",
+            f"aof_last_rewrite_size:{self._aof_base_size}",
+            f"aof_rewrites:{self.rewrites_completed}",
+            f"aof_pending_bytes:"
+            f"{self.aof.unsynced_bytes() if self.aof else 0}",
+            "",
+            "# Stats",
+            f"total_commands_processed:{self.stats.commands_processed}",
+            f"expired_keys:{self.stats.expired_keys}",
+            f"deleted_keys:{self.stats.deleted_keys}",
+            f"keyspace_hits:{self.stats.keyspace_hits}",
+            f"keyspace_misses:{self.stats.keyspace_misses}",
+            "",
+            "# Keyspace",
+        ]
+        for db in self.databases:
+            if len(db):
+                lines.append(
+                    f"db{db.index}:keys={len(db)},"
+                    f"expires={db.volatile_count}")
+        return "\n".join(lines) + "\n"
+
+    # -- listeners -------------------------------------------------------------------
+
+    def add_deletion_listener(self, listener: DeletionListener) -> None:
+        """Subscribe to every key removal (reason: del / lazy-expire /
+        active-expire).  The GDPR layer uses this to timestamp erasures."""
+        self.deletion_listeners.append(listener)
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Subscribe to the effective-write stream (replication feed)."""
+        self.write_listeners.append(listener)

@@ -1,0 +1,31 @@
+"""Simulated networking: channels, TLS-like sessions, stunnel deployment."""
+
+from .channel import (
+    LAN_LATENCY,
+    PROXIED_BANDWIDTH_BPS,
+    RAW_BANDWIDTH_BPS,
+    Channel,
+    Endpoint,
+    loopback,
+)
+from .tls import (
+    PROXY_PER_MESSAGE_OVERHEAD,
+    TLS_COST_PER_BYTE,
+    TlsSession,
+    establish_session_pair,
+    stunnel_channel,
+)
+
+__all__ = [
+    "Channel",
+    "Endpoint",
+    "loopback",
+    "RAW_BANDWIDTH_BPS",
+    "PROXIED_BANDWIDTH_BPS",
+    "LAN_LATENCY",
+    "TlsSession",
+    "establish_session_pair",
+    "stunnel_channel",
+    "TLS_COST_PER_BYTE",
+    "PROXY_PER_MESSAGE_OVERHEAD",
+]

@@ -1,0 +1,63 @@
+"""YCSB: workload definitions, generators, adapters, and the runner."""
+
+from .adapters import (
+    ClientAdapter,
+    GDPRAdapter,
+    KVAdapter,
+    StorageAdapter,
+    pack_fields,
+    unpack_fields,
+)
+from .distributions import (
+    CounterGenerator,
+    DiscreteGenerator,
+    ScrambledZipfianGenerator,
+    SkewedLatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+from .generator import FieldGenerator, build_key_name, flatten_fields
+from .runner import RunReport, WorkloadRunner, load_and_run
+from .workloads import (
+    CORE_WORKLOADS,
+    FIGURE1_PHASES,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "StorageAdapter",
+    "KVAdapter",
+    "ClientAdapter",
+    "GDPRAdapter",
+    "pack_fields",
+    "unpack_fields",
+    "CounterGenerator",
+    "DiscreteGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "SkewedLatestGenerator",
+    "zeta",
+    "FieldGenerator",
+    "build_key_name",
+    "flatten_fields",
+    "WorkloadSpec",
+    "CORE_WORKLOADS",
+    "FIGURE1_PHASES",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "RunReport",
+    "WorkloadRunner",
+    "load_and_run",
+]

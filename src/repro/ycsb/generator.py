@@ -1,0 +1,57 @@
+"""Record and key generation (YCSB's CoreWorkload key/value builders)."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, List, Optional
+
+from ..common.hashing import fnv1a_64
+
+_PRINTABLE = (string.ascii_letters + string.digits).encode("ascii")
+
+
+def build_key_name(keynum: int, ordered: bool = False) -> str:
+    """YCSB's key naming: "user" + fnv64(keynum) (hashed insert order)."""
+    if ordered:
+        return f"user{keynum:019d}"
+    return f"user{fnv1a_64(keynum)}"
+
+
+class FieldGenerator:
+    """Deterministic field payloads of fixed length."""
+
+    def __init__(self, field_count: int = 10, field_length: int = 100,
+                 seed: int = 0) -> None:
+        self.field_count = field_count
+        self.field_length = field_length
+        self._rng = random.Random(seed)
+        self.field_names = [f"field{i}" for i in range(field_count)]
+
+    def _payload(self) -> bytes:
+        return bytes(self._rng.choice(_PRINTABLE)
+                     for _ in range(self.field_length))
+
+    def build_values(self) -> Dict[str, bytes]:
+        """All fields (insert path)."""
+        return {name: self._payload() for name in self.field_names}
+
+    def build_update(self) -> Dict[str, bytes]:
+        """One random field (update path, YCSB writeallfields=false)."""
+        name = self.field_names[self._rng.randrange(self.field_count)]
+        return {name: self._payload()}
+
+    def random_field(self) -> str:
+        return self.field_names[self._rng.randrange(self.field_count)]
+
+    def record_size(self) -> int:
+        return self.field_count * self.field_length
+
+
+def flatten_fields(values: Dict[str, bytes]) -> List[bytes]:
+    """field/value dict -> the flat argument list HSET expects."""
+    flat: List[bytes] = []
+    for name, payload in values.items():
+        flat.append(name.encode("ascii"))
+        flat.append(payload)
+    return flat

@@ -1,0 +1,152 @@
+"""Fast shape checks over the benchmark drivers (tiny scales).
+
+The real assertions against paper numbers live in ``benchmarks/``; these
+tests guarantee the drivers stay runnable and structurally sound under
+plain ``pytest tests/``.
+"""
+
+import pytest
+
+from repro.bench.calibration import (
+    FIGURE1_CONFIGS,
+    make_aof_sync,
+    make_figure1_system,
+    make_inprocess,
+    make_luks_tls,
+    make_unmodified,
+)
+from repro.bench.figure1 import PHASE_PLAN, figure1_table, run_config
+from repro.bench.figure2 import (
+    DEFAULT_SIZES,
+    doubling_ratios,
+    figure2_table,
+    measure_erasure_delay,
+    populate_expiring,
+    run_figure2,
+)
+from repro.bench.reporting import normalize, render_series, render_table
+from repro.bench.table1 import headline_statistics
+from repro.common.clock import SimClock
+from repro.kvstore import KeyValueStore, StoreConfig
+
+
+class TestSystemFactories:
+    def test_unmodified_has_no_aof(self):
+        system = make_unmodified()
+        assert system.store.aof is None
+        assert system.client is not None
+
+    def test_aof_sync_logs_reads(self):
+        system = make_aof_sync()
+        assert system.store.aof is not None
+        assert system.store.aof.log_reads is True
+
+    def test_luks_tls_has_volume(self):
+        system = make_luks_tls(volume_mb=1)
+        assert system.luks is not None
+        assert system.luks.unlocked
+
+    def test_luks_snapshot_write(self):
+        system = make_luks_tls(volume_mb=1)
+        system.store.execute("SET", "k", "v")
+        written = system.maybe_snapshot_to_luks()
+        assert written > 0
+
+    def test_snapshot_skipped_without_luks(self):
+        system = make_unmodified()
+        assert system.maybe_snapshot_to_luks() == 0
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            make_figure1_system("quantum")
+
+    def test_all_figure1_configs_buildable(self):
+        for config in FIGURE1_CONFIGS:
+            assert make_figure1_system(config).store is not None
+
+    def test_inprocess_factory(self):
+        system = make_inprocess()
+        system.store.execute("SET", "k", "v")
+        assert system.adapter.read.__self__ is system.adapter
+
+
+class TestFigure1Driver:
+    def test_phase_plan_matches_figure(self):
+        assert [label for label, _, _ in PHASE_PLAN] == \
+            ["Load-A", "A", "B", "C", "D", "Load-E", "E", "F"]
+
+    def test_run_config_tiny(self):
+        cells = run_config("unmodified", record_count=20,
+                           operation_count=30)
+        assert [c.phase for c in cells] == [p for p, _, _ in PHASE_PLAN]
+        assert all(c.throughput > 0 for c in cells)
+
+    def test_table_renders(self):
+        results = {"unmodified": run_config("unmodified", 10, 15)}
+        table = figure1_table(results)
+        assert "Load-A" in table and "phase" in table
+
+
+class TestFigure2Driver:
+    def test_populate_mix(self):
+        store = KeyValueStore(clock=SimClock())
+        short = populate_expiring(store, 100, short_fraction=0.2)
+        assert short == 20
+        assert store.databases[0].volatile_count == 100
+
+    def test_measurement_fields(self):
+        m = measure_erasure_delay(500, strategy="fullscan")
+        assert m.completed
+        assert m.short_keys == 100
+        assert m.erase_seconds < 1.0
+
+    def test_lazy_small_completes(self):
+        m = measure_erasure_delay(500, strategy="lazy")
+        assert m.completed
+        assert m.erase_seconds > 1.0
+
+    def test_safety_cap(self):
+        m = measure_erasure_delay(2_000, strategy="lazy", sim_cap=1.0)
+        assert not m.completed
+
+    def test_run_figure2_structure(self):
+        results = run_figure2(sizes=(500, 1000),
+                              strategies=("fullscan",))
+        assert len(results["fullscan"]) == 2
+        table = figure2_table(results)
+        assert "total_keys" in table
+
+    def test_doubling_ratios(self):
+        results = run_figure2(sizes=(500, 1000, 2000),
+                              strategies=("lazy",))
+        ratios = doubling_ratios(results["lazy"])
+        assert len(ratios) == 2
+        assert all(r > 0 for _, r in ratios)
+
+    def test_default_sizes_match_paper(self):
+        assert DEFAULT_SIZES == (1_000, 2_000, 4_000, 8_000, 16_000,
+                                 32_000, 64_000, 128_000)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_render_series(self):
+        text = render_series("title", [(1, 2)], "x", "y")
+        assert text.startswith("title")
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 4.0) == [0.5, 1.0]
+        assert normalize([1.0], 0.0) == [0.0]
+
+
+class TestHeadlineStats:
+    def test_thirty_one_of_ninety_nine(self):
+        stats = headline_statistics()
+        assert stats["storage_related_articles"] == 31
+        assert 0.31 <= stats["storage_share"] <= 0.32
+        assert stats["table1_rows"] == 13

@@ -1,0 +1,33 @@
+"""Tests for the `python -m repro.bench` command-line driver."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_table1_subset(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "31/99" in out
+
+    def test_micro_subset_small_scale(self, capsys):
+        assert main(["micro", "--records", "50", "--ops", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "logging mechanisms" in out
+        assert "stunnel" in out
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--records", "20", "--ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "total_keys" in out
+        assert "paper_lazy_s" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["warpdrive"])
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
+                                    "micro", "ablations"}

@@ -1,0 +1,121 @@
+"""Tests for clock abstractions."""
+
+import pytest
+
+from repro.common.clock import SimClock, Stopwatch, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_sleep_until_future(self):
+        clock = SimClock()
+        clock.sleep_until(3.0)
+        assert clock.now() == 3.0
+
+    def test_sleep_until_past_is_noop(self):
+        clock = SimClock(start=5.0)
+        clock.sleep_until(3.0)
+        assert clock.now() == 5.0
+
+    def test_timer_fires_during_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(clock.now()))
+        clock.advance(2.0)
+        assert fired == [1.0]
+        assert clock.now() == 2.0
+
+    def test_timer_not_fired_before_due(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(True))
+        clock.advance(4.999)
+        assert fired == []
+        assert clock.pending_timers() == 1
+
+    def test_timers_fire_in_order(self):
+        clock = SimClock()
+        order = []
+        clock.call_at(2.0, lambda: order.append("b"))
+        clock.call_at(1.0, lambda: order.append("a"))
+        clock.call_at(3.0, lambda: order.append("c"))
+        clock.advance(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_call_later_relative(self):
+        clock = SimClock(start=10.0)
+        fired = []
+        clock.call_later(1.0, lambda: fired.append(clock.now()))
+        clock.advance(1.5)
+        assert fired == [11.0]
+
+    def test_timer_in_past_rejected(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.call_at(4.0, lambda: None)
+
+    def test_same_deadline_timers_fifo(self):
+        clock = SimClock()
+        order = []
+        clock.call_at(1.0, lambda: order.append(1))
+        clock.call_at(1.0, lambda: order.append(2))
+        clock.advance(1.0)
+        assert order == [1, 2]
+
+
+class TestWallClock:
+    def test_now_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+    def test_advance_without_sleep_offsets(self):
+        clock = WallClock(sleep=False)
+        before = clock.now()
+        clock.advance(100.0)
+        assert clock.now() - before >= 100.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock().advance(-1.0)
+
+
+class TestStopwatch:
+    def test_elapsed_tracks_sim_time(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(2.5)
+        assert watch.elapsed() == 2.5
+
+    def test_restart_resets(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(2.0)
+        watch.restart()
+        clock.advance(1.0)
+        assert watch.elapsed() == 1.0

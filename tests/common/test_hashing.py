@@ -1,0 +1,68 @@
+"""Tests for hashing utilities."""
+
+from repro.common.hashing import (
+    GENESIS_HASH,
+    chain_hash,
+    crc32_of,
+    fnv1a_64,
+    sha256_bytes,
+    sha256_hex,
+)
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+
+    def test_different_inputs_differ(self):
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+    def test_fits_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= fnv1a_64(value) < 2**64
+
+    def test_negative_masked(self):
+        # Negative ints hash like their two's-complement 64-bit image.
+        assert fnv1a_64(-1) == fnv1a_64(2**64 - 1)
+
+    def test_spreads_sequential_inputs(self):
+        hashes = {fnv1a_64(i) % 1000 for i in range(100)}
+        assert len(hashes) > 80  # sequential ids land far apart
+
+
+class TestCrc:
+    def test_known_value(self):
+        assert crc32_of(b"") == 0
+
+    def test_chainable(self):
+        whole = crc32_of(b"hello world")
+        partial = crc32_of(b" world", crc32_of(b"hello"))
+        assert whole == partial
+
+    def test_detects_flip(self):
+        assert crc32_of(b"data") != crc32_of(b"dataX")
+
+
+class TestSha:
+    def test_hex_length(self):
+        assert len(sha256_hex(b"x")) == 64
+
+    def test_bytes_length(self):
+        assert len(sha256_bytes(b"x")) == 32
+
+
+class TestChainHash:
+    def test_deterministic(self):
+        assert chain_hash(GENESIS_HASH, b"a") == chain_hash(GENESIS_HASH,
+                                                            b"a")
+
+    def test_payload_sensitivity(self):
+        assert chain_hash(GENESIS_HASH, b"a") != chain_hash(GENESIS_HASH,
+                                                            b"b")
+
+    def test_prev_sensitivity(self):
+        one = chain_hash(GENESIS_HASH, b"a")
+        assert chain_hash(one, b"a") != chain_hash(GENESIS_HASH, b"a")
+
+    def test_genesis_stable(self):
+        assert GENESIS_HASH == sha256_hex(b"repro-audit-genesis")

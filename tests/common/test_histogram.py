@@ -1,0 +1,105 @@
+"""Tests for the latency histogram."""
+
+import pytest
+
+from repro.common.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_empty_summary(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_count_and_mean(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0, 2.0, 3.0])
+        assert hist.count == 3
+        assert hist.mean() == pytest.approx(2.0)
+
+    def test_min_max_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many([0.5, 0.1, 0.9])
+        assert hist.min() == pytest.approx(0.1)
+        assert hist.max() == pytest.approx(0.9)
+
+    def test_non_positive_clamped(self):
+        hist = LatencyHistogram(min_latency=1e-9)
+        hist.record(0.0)
+        hist.record(-1.0)
+        assert hist.count == 2
+        assert hist.min() == pytest.approx(1e-9)
+
+    def test_relative_error_bound(self):
+        hist = LatencyHistogram(relative_error=0.01)
+        for value in (1e-6, 37e-6, 1e-3, 0.5, 12.0):
+            single = LatencyHistogram(relative_error=0.01)
+            single.record(value)
+            estimate = single.percentile(50)
+            assert abs(estimate - value) / value < 0.03
+
+    def test_bad_relative_error(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(relative_error=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(relative_error=1.0)
+
+
+class TestPercentiles:
+    def test_monotone_percentiles(self):
+        hist = LatencyHistogram()
+        hist.record_many([i / 1000.0 for i in range(1, 1001)])
+        p50 = hist.percentile(50)
+        p95 = hist.percentile(95)
+        p99 = hist.percentile(99)
+        assert p50 <= p95 <= p99
+
+    def test_p50_near_median(self):
+        hist = LatencyHistogram()
+        hist.record_many([i / 1000.0 for i in range(1, 1001)])
+        assert hist.percentile(50) == pytest.approx(0.5, rel=0.05)
+
+    def test_p100_is_max_bucket(self):
+        hist = LatencyHistogram()
+        hist.record_many([0.1, 0.2, 5.0])
+        assert hist.percentile(100) == pytest.approx(5.0, rel=0.03)
+
+    def test_invalid_percentile(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_percentiles_list(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0] * 10)
+        pairs = hist.percentiles([50, 99])
+        assert [p for p, _ in pairs] == [50, 99]
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p95", "p99"}
+
+
+class TestMerge:
+    def test_merge_combines_counts(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.record_many([1.0, 2.0])
+        b.record_many([3.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean() == pytest.approx(2.0)
+        assert a.max() == pytest.approx(3.0)
+
+    def test_merge_geometry_mismatch(self):
+        a = LatencyHistogram(relative_error=0.01)
+        b = LatencyHistogram(relative_error=0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,166 @@
+"""Tests for the stream cipher and authenticated envelope."""
+
+import pytest
+
+from repro.common.errors import CryptoError, IntegrityError
+from repro.crypto.cipher import (
+    KEY_SIZE,
+    NONCE_SIZE,
+    AuthenticatedCipher,
+    SectorCipher,
+    StreamCipher,
+    derive_key,
+    random_bytes,
+)
+
+
+@pytest.fixture
+def key():
+    return b"k" * KEY_SIZE
+
+
+class TestStreamCipher:
+    def test_roundtrip(self, key):
+        cipher = StreamCipher(key)
+        nonce = b"n" * NONCE_SIZE
+        ciphertext = cipher.encrypt(b"secret payload", nonce)
+        assert cipher.decrypt(ciphertext, nonce) == b"secret payload"
+
+    def test_ciphertext_differs_from_plaintext(self, key):
+        cipher = StreamCipher(key)
+        nonce = b"n" * NONCE_SIZE
+        assert cipher.encrypt(b"secret", nonce) != b"secret"
+
+    def test_nonce_changes_ciphertext(self, key):
+        cipher = StreamCipher(key)
+        a = cipher.encrypt(b"data", b"a" * NONCE_SIZE)
+        b = cipher.encrypt(b"data", b"b" * NONCE_SIZE)
+        assert a != b
+
+    def test_key_changes_ciphertext(self, key):
+        nonce = b"n" * NONCE_SIZE
+        a = StreamCipher(key).encrypt(b"data", nonce)
+        b = StreamCipher(b"x" * KEY_SIZE).encrypt(b"data", nonce)
+        assert a != b
+
+    def test_empty_plaintext(self, key):
+        cipher = StreamCipher(key)
+        assert cipher.encrypt(b"", b"n" * NONCE_SIZE) == b""
+
+    def test_long_plaintext_spans_blocks(self, key):
+        cipher = StreamCipher(key)
+        nonce = b"n" * NONCE_SIZE
+        payload = bytes(range(256)) * 20
+        assert cipher.decrypt(cipher.encrypt(payload, nonce),
+                              nonce) == payload
+
+    def test_keystream_start_block(self, key):
+        cipher = StreamCipher(key)
+        nonce = b"n" * NONCE_SIZE
+        full = cipher.keystream(nonce, 96)
+        tail = cipher.keystream(nonce, 64, start_block=1)
+        assert full[32:] == tail
+
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            StreamCipher(b"short")
+
+    def test_bad_nonce_length(self, key):
+        with pytest.raises(CryptoError):
+            StreamCipher(key).encrypt(b"x", b"short")
+
+
+class TestAuthenticatedCipher:
+    def test_seal_open_roundtrip(self, key):
+        cipher = AuthenticatedCipher(key)
+        token = cipher.seal(b"personal data")
+        assert cipher.open(token) == b"personal data"
+
+    def test_aad_binding(self, key):
+        cipher = AuthenticatedCipher(key)
+        token = cipher.seal(b"v", aad=b"key-1")
+        assert cipher.open(token, aad=b"key-1") == b"v"
+        with pytest.raises(IntegrityError):
+            cipher.open(token, aad=b"key-2")
+
+    def test_tampered_ciphertext_rejected(self, key):
+        cipher = AuthenticatedCipher(key)
+        token = bytearray(cipher.seal(b"value"))
+        token[NONCE_SIZE] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.open(bytes(token))
+
+    def test_tampered_tag_rejected(self, key):
+        cipher = AuthenticatedCipher(key)
+        token = bytearray(cipher.seal(b"value"))
+        token[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.open(bytes(token))
+
+    def test_truncated_token_rejected(self, key):
+        cipher = AuthenticatedCipher(key)
+        with pytest.raises(IntegrityError):
+            cipher.open(b"tiny")
+
+    def test_wrong_key_rejected(self, key):
+        token = AuthenticatedCipher(key).seal(b"value")
+        other = AuthenticatedCipher(b"z" * KEY_SIZE)
+        with pytest.raises(IntegrityError):
+            other.open(token)
+
+    def test_unique_nonces_give_unique_tokens(self, key):
+        cipher = AuthenticatedCipher(key)
+        assert cipher.seal(b"same") != cipher.seal(b"same")
+
+    def test_explicit_nonce_deterministic(self, key):
+        cipher = AuthenticatedCipher(key)
+        nonce = b"n" * NONCE_SIZE
+        assert cipher.seal(b"same", nonce=nonce) == \
+            cipher.seal(b"same", nonce=nonce)
+
+    def test_overhead_constant(self, key):
+        cipher = AuthenticatedCipher(key)
+        token = cipher.seal(b"12345")
+        assert len(token) - 5 == AuthenticatedCipher.overhead()
+
+
+class TestSectorCipher:
+    def test_sector_roundtrip(self, key):
+        cipher = SectorCipher(key)
+        sector = b"s" * 512
+        assert cipher.decrypt_sector(
+            7, cipher.encrypt_sector(7, sector)) == sector
+
+    def test_sector_number_tweaks(self, key):
+        cipher = SectorCipher(key)
+        data = b"d" * 512
+        assert cipher.encrypt_sector(0, data) != cipher.encrypt_sector(
+            1, data)
+
+    def test_length_preserving(self, key):
+        cipher = SectorCipher(key)
+        assert len(cipher.encrypt_sector(3, b"x" * 100)) == 100
+
+
+class TestKdf:
+    def test_deterministic(self):
+        assert derive_key(b"pass", b"salt") == derive_key(b"pass", b"salt")
+
+    def test_salt_sensitivity(self):
+        assert derive_key(b"pass", b"salt1") != derive_key(b"pass",
+                                                           b"salt2")
+
+    def test_passphrase_sensitivity(self):
+        assert derive_key(b"a", b"salt") != derive_key(b"b", b"salt")
+
+    def test_empty_passphrase_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_key(b"", b"salt")
+
+    def test_output_size(self):
+        assert len(derive_key(b"p", b"s")) == KEY_SIZE
+
+
+def test_random_bytes_length_and_variation():
+    assert len(random_bytes(16)) == 16
+    assert random_bytes(16) != random_bytes(16)

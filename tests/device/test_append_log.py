@@ -1,0 +1,150 @@
+"""Tests for the append-only log's durability frontiers."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import DeviceIOError
+from repro.device.append_log import AppendLog
+from repro.device.block_device import FaultInjector
+from repro.device.latency import INTEL_750_SSD
+
+
+class TestFrontiers:
+    def test_append_is_buffered(self):
+        log = AppendLog()
+        log.append(b"record1")
+        assert log.total_length == 7
+        assert log.cached_length == 0
+        assert log.durable_length == 0
+
+    def test_flush_advances_cache(self):
+        log = AppendLog()
+        log.append(b"record1")
+        moved = log.flush()
+        assert moved == 7
+        assert log.cached_length == 7
+        assert log.durable_length == 0
+
+    def test_fsync_advances_durable(self):
+        log = AppendLog()
+        log.append(b"r")
+        log.flush()
+        log.fsync()
+        assert log.durable_length == 1
+
+    def test_invariant_ordering(self):
+        log = AppendLog()
+        log.append(b"aaa")
+        log.flush()
+        log.append(b"bbb")
+        assert log.durable_length <= log.cached_length <= log.total_length
+
+    def test_flush_empty_returns_zero(self):
+        log = AppendLog()
+        assert log.flush() == 0
+
+    def test_pending_counters(self):
+        log = AppendLog()
+        log.append(b"abcd")
+        assert log.unflushed_bytes == 4
+        log.flush()
+        assert log.unflushed_bytes == 0
+        assert log.unsynced_bytes == 4
+        log.fsync()
+        assert log.unsynced_bytes == 0
+
+
+class TestCrash:
+    def test_power_loss_keeps_only_durable(self):
+        log = AppendLog()
+        log.append(b"AAAA")
+        log.flush_and_fsync()
+        log.append(b"BBBB")
+        log.flush()
+        log.append(b"CCCC")
+        log.crash(power_loss=True)
+        assert log.read_all() == b"AAAA"
+
+    def test_process_crash_keeps_page_cache(self):
+        log = AppendLog()
+        log.append(b"AAAA")
+        log.flush_and_fsync()
+        log.append(b"BBBB")
+        log.flush()
+        log.append(b"CCCC")
+        log.crash(power_loss=False)
+        assert log.read_all() == b"AAAABBBB"
+
+    def test_views(self):
+        log = AppendLog()
+        log.append(b"AAAA")
+        log.flush_and_fsync()
+        log.append(b"BBBB")
+        log.flush()
+        log.append(b"CCCC")
+        assert log.read_all() == b"AAAABBBBCCCC"
+        assert log.read_cached() == b"AAAABBBB"
+        assert log.read_durable() == b"AAAA"
+
+    def test_corrupt_tail(self):
+        log = AppendLog()
+        log.append(b"ABCDEFGH")
+        log.corrupt_tail(2)
+        assert log.read_all()[:6] == b"ABCDEF"
+        assert log.read_all()[6:] != b"GH"
+
+    def test_corrupt_tail_bounds(self):
+        log = AppendLog()
+        log.append(b"AB")
+        with pytest.raises(DeviceIOError):
+            log.corrupt_tail(5)
+        with pytest.raises(DeviceIOError):
+            log.corrupt_tail(0)
+
+
+class TestTimingAndReplace:
+    def test_fsync_charges_device_cost(self):
+        clock = SimClock()
+        log = AppendLog(clock=clock, latency=INTEL_750_SSD)
+        log.append(b"x")
+        log.flush()
+        before = clock.now()
+        log.fsync()
+        assert clock.now() - before == pytest.approx(INTEL_750_SSD.fsync)
+
+    def test_append_free_flush_charged(self):
+        clock = SimClock()
+        log = AppendLog(clock=clock, latency=INTEL_750_SSD)
+        log.append(b"x" * 100)
+        assert clock.now() == 0.0
+        log.flush()
+        assert clock.now() == pytest.approx(
+            INTEL_750_SSD.write_cost(100))
+
+    def test_replace_is_durable(self):
+        log = AppendLog()
+        log.append(b"old-old-old")
+        log.flush_and_fsync()
+        log.replace(b"new")
+        log.crash(power_loss=True)
+        assert log.read_all() == b"new"
+        assert log.durable_length == 3
+
+    def test_fault_injection_on_flush(self):
+        faults = FaultInjector()
+        log = AppendLog(faults=faults)
+        log.append(b"x")
+        faults.fail_after(0)
+        with pytest.raises(DeviceIOError):
+            log.flush()
+        # Data stays in the application buffer, retry succeeds.
+        assert log.flush() == 1
+
+    def test_counters(self):
+        log = AppendLog()
+        log.append(b"a")
+        log.append(b"b")
+        log.flush_and_fsync()
+        assert log.appends == 2
+        assert log.syscalls == 1
+        assert log.fsyncs == 1

@@ -1,0 +1,159 @@
+"""Tests for the simulated block device and fault injection."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import DeviceFullError, DeviceIOError
+from repro.device.block_device import FaultInjector, SimulatedBlockDevice
+from repro.device.latency import INTEL_750_SSD, ZERO
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self):
+        dev = SimulatedBlockDevice(1024)
+        dev.write(10, b"hello")
+        assert dev.read(10, 5) == b"hello"
+
+    def test_unwritten_reads_zero(self):
+        dev = SimulatedBlockDevice(64)
+        assert dev.read(0, 4) == b"\x00" * 4
+
+    def test_overwrite(self):
+        dev = SimulatedBlockDevice(64)
+        dev.write(0, b"aaaa")
+        dev.write(2, b"bb")
+        assert dev.read(0, 4) == b"aabb"
+
+    def test_write_beyond_capacity(self):
+        dev = SimulatedBlockDevice(8)
+        with pytest.raises(DeviceFullError):
+            dev.write(5, b"toolong")
+
+    def test_read_beyond_capacity(self):
+        dev = SimulatedBlockDevice(8)
+        with pytest.raises(DeviceIOError):
+            dev.read(5, 10)
+
+    def test_negative_offset(self):
+        dev = SimulatedBlockDevice(8)
+        with pytest.raises(DeviceFullError):
+            dev.write(-1, b"x")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedBlockDevice(0)
+
+    def test_counters(self):
+        dev = SimulatedBlockDevice(64)
+        dev.write(0, b"abcd")
+        dev.read(0, 2)
+        dev.flush()
+        counters = dev.snapshot_counters()
+        assert counters["writes"] == 1
+        assert counters["reads"] == 1
+        assert counters["flushes"] == 1
+        assert counters["bytes_written"] == 4
+        assert counters["bytes_read"] == 2
+
+
+class TestDurability:
+    def test_crash_loses_unflushed(self):
+        dev = SimulatedBlockDevice(64)
+        dev.write(0, b"data")
+        dev.crash()
+        assert dev.read(0, 4) == b"\x00" * 4
+
+    def test_flush_makes_durable(self):
+        dev = SimulatedBlockDevice(64)
+        dev.write(0, b"data")
+        dev.flush()
+        dev.crash()
+        assert dev.read(0, 4) == b"data"
+
+    def test_partial_durability(self):
+        dev = SimulatedBlockDevice(64)
+        dev.write(0, b"aaaa")
+        dev.flush()
+        dev.write(0, b"bbbb")
+        assert dev.durable_read(0, 4) == b"aaaa"
+        dev.crash()
+        assert dev.read(0, 4) == b"aaaa"
+
+    def test_durable_read_bounds(self):
+        dev = SimulatedBlockDevice(8)
+        with pytest.raises(DeviceIOError):
+            dev.durable_read(0, 100)
+
+
+class TestLatencyAccounting:
+    def test_write_charges_time(self):
+        clock = SimClock()
+        dev = SimulatedBlockDevice(1024, clock=clock,
+                                   latency=INTEL_750_SSD)
+        dev.write(0, b"x" * 100)
+        expected = INTEL_750_SSD.write_cost(100)
+        assert clock.now() == pytest.approx(expected)
+
+    def test_flush_charges_fsync(self):
+        clock = SimClock()
+        dev = SimulatedBlockDevice(1024, clock=clock,
+                                   latency=INTEL_750_SSD)
+        dev.flush()
+        assert clock.now() == pytest.approx(INTEL_750_SSD.fsync)
+
+    def test_zero_model_free(self):
+        clock = SimClock()
+        dev = SimulatedBlockDevice(1024, clock=clock, latency=ZERO)
+        dev.write(0, b"x" * 100)
+        dev.flush()
+        assert clock.now() == 0.0
+
+
+class TestFaultInjection:
+    def test_countdown_fault(self):
+        faults = FaultInjector()
+        faults.fail_after(1)
+        dev = SimulatedBlockDevice(64, faults=faults)
+        dev.write(0, b"ok")
+        with pytest.raises(DeviceIOError):
+            dev.write(0, b"boom")
+        dev.write(0, b"recovered")  # one-shot
+
+    def test_immediate_fault(self):
+        faults = FaultInjector()
+        faults.fail_after(0)
+        dev = SimulatedBlockDevice(64, faults=faults)
+        with pytest.raises(DeviceIOError):
+            dev.write(0, b"x")
+
+    def test_failed_write_leaves_data_untouched(self):
+        faults = FaultInjector()
+        dev = SimulatedBlockDevice(64, faults=faults)
+        dev.write(0, b"good")
+        faults.fail_after(0)
+        with pytest.raises(DeviceIOError):
+            dev.write(0, b"bad!")
+        assert dev.read(0, 4) == b"good"
+
+    def test_probabilistic_deterministic_by_seed(self):
+        outcomes = []
+        for _ in range(2):
+            faults = FaultInjector(probability=0.5, seed=99)
+            results = []
+            for _ in range(20):
+                try:
+                    faults.check()
+                    results.append(True)
+                except DeviceIOError:
+                    results.append(False)
+            outcomes.append(results)
+        assert outcomes[0] == outcomes[1]
+        assert not all(outcomes[0])
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultInjector(probability=1.5)
+
+    def test_negative_countdown(self):
+        with pytest.raises(ValueError):
+            FaultInjector().fail_after(-1)

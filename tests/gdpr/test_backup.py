@@ -1,0 +1,143 @@
+"""Tests for backup generations under the right to be forgotten."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.gdpr import (
+    BackupManager,
+    GDPRConfig,
+    GDPRMetadata,
+    GDPRStore,
+    right_to_erasure,
+)
+from repro.kvstore import KeyValueStore, StoreConfig
+
+
+def make_store():
+    clock = SimClock()
+    kv = KeyValueStore(StoreConfig(appendonly=True), clock=clock)
+    return GDPRStore(kv=kv, config=GDPRConfig()), clock
+
+
+def meta(owner="alice"):
+    return GDPRMetadata(owner=owner, purposes=frozenset({"svc"}))
+
+
+class TestLifecycle:
+    def test_take_and_find(self):
+        store, _ = make_store()
+        manager = BackupManager(store)
+        backup = manager.take_backup("nightly")
+        assert manager.find("nightly") is backup
+
+    def test_find_missing(self):
+        store, _ = make_store()
+        with pytest.raises(KeyError):
+            BackupManager(store).find("ghost")
+
+    def test_generation_bound(self):
+        store, _ = make_store()
+        manager = BackupManager(store, max_generations=3)
+        for i in range(5):
+            manager.take_backup(f"b{i}")
+        assert [b.label for b in manager.backups] == ["b2", "b3", "b4"]
+
+    def test_auto_labels(self):
+        store, _ = make_store()
+        manager = BackupManager(store)
+        assert manager.take_backup().label == "backup-0000"
+
+    def test_backups_audited(self):
+        store, _ = make_store()
+        BackupManager(store).take_backup()
+        assert any(r.operation == "backup"
+                   for r in store.audit.records())
+
+    def test_bad_generation_count(self):
+        store, _ = make_store()
+        with pytest.raises(ValueError):
+            BackupManager(store, max_generations=0)
+
+
+class TestRestore:
+    def test_restore_roundtrip(self):
+        store, _ = make_store()
+        store.put("k", b"value", meta())
+        manager = BackupManager(store)
+        manager.take_backup("snap")
+        store.delete("k")  # mutate the live store afterwards
+        restored = manager.restore("snap")
+        assert restored.get("k").value == b"value"
+        assert restored.keys_of_subject("alice") == ["k"]
+
+    def test_restore_cannot_resurrect_erased_subject(self):
+        store, _ = make_store()
+        store.put("k", b"pii", meta())
+        manager = BackupManager(store)
+        manager.take_backup("pre-erasure")
+        right_to_erasure(store, "alice")
+        restored = manager.restore("pre-erasure")
+        # The ciphertext is back in the keyspace, but alice's data key is
+        # tombstoned: the record is unreadable and unindexed.
+        assert restored.keys_of_subject("alice") == []
+        with pytest.raises(KeyError):
+            restored.get("k")
+
+    def test_restore_preserves_other_subjects(self):
+        store, _ = make_store()
+        store.put("a", b"alice-data", meta("alice"))
+        store.put("b", b"bob-data", meta("bob"))
+        manager = BackupManager(store)
+        manager.take_backup("snap")
+        right_to_erasure(store, "alice")
+        restored = manager.restore("snap")
+        assert restored.get("b").value == b"bob-data"
+
+
+class TestReconciliation:
+    def test_mentions_tracking(self):
+        store, _ = make_store()
+        store.put("k", b"pii", meta())
+        manager = BackupManager(store)
+        manager.take_backup("with-alice")
+        store.delete("k")
+        manager.take_backup("without-alice")
+        assert manager.generations_mentioning("k") == ["with-alice"]
+
+    def test_reconcile_report_only(self):
+        store, _ = make_store()
+        store.put("k", b"pii", meta())
+        manager = BackupManager(store)
+        manager.take_backup("g0")
+        receipt = right_to_erasure(store, "alice")
+        report = manager.reconcile_erasure("alice", receipt.keys_erased,
+                                           rewrite=False)
+        assert report.mentioning == ["g0"]
+        assert report.rewritten == []
+        assert report.residual_generations == 1
+        assert report.crypto_voided is True
+
+    def test_reconcile_with_rewrite(self):
+        store, _ = make_store()
+        store.put("k", b"pii", meta())
+        manager = BackupManager(store)
+        manager.take_backup("g0")
+        receipt = right_to_erasure(store, "alice")
+        report = manager.reconcile_erasure("alice", receipt.keys_erased,
+                                           rewrite=True)
+        assert report.rewritten == ["g0"]
+        assert report.residual_generations == 0
+        assert manager.generations_mentioning("k") == []
+
+    def test_unaffected_generations_untouched(self):
+        store, _ = make_store()
+        store.put("bob", b"bob-data", meta("bob"))
+        manager = BackupManager(store)
+        manager.take_backup("bob-only")
+        store.put("k", b"alice-data", meta("alice"))
+        manager.take_backup("both")
+        receipt = right_to_erasure(store, "alice")
+        report = manager.reconcile_erasure("alice", receipt.keys_erased,
+                                           rewrite=True)
+        assert report.mentioning == ["both"]
+        assert not manager.find("bob-only").rewritten

@@ -1,0 +1,153 @@
+"""Tests for the compliance spectrum and Table 1 assessment."""
+
+from repro.common.clock import SimClock
+from repro.gdpr import (
+    AuditDurability,
+    Capability,
+    FeatureProfile,
+    FeatureSupport,
+    GDPRConfig,
+    GDPRStore,
+    ResponseTime,
+    StorageFeature,
+    assess,
+    gdpr_store_profile,
+    redis_baseline_profile,
+    render_table1,
+)
+from repro.gdpr.articles import ALL_FEATURES, TABLE1
+from repro.kvstore import KeyValueStore, StoreConfig
+
+
+class TestArticlesRegistry:
+    def test_thirteen_rows(self):
+        assert len(TABLE1) == 13
+
+    def test_six_features(self):
+        assert len(ALL_FEATURES) == 6
+
+    def test_article17_maps_to_deletion(self):
+        art17 = next(a for a in TABLE1 if a.number == "17")
+        assert art17.features == (StorageFeature.TIMELY_DELETION,)
+
+    def test_accountability_needs_all(self):
+        art52 = next(a for a in TABLE1 if a.name == "Accountability")
+        assert art52.needs_all_features
+
+    def test_breach_articles_need_monitoring(self):
+        row = next(a for a in TABLE1 if a.number == "33,34")
+        assert StorageFeature.MONITORING in row.features
+
+
+class TestBaselineProfile:
+    def test_matches_paper_characterization(self):
+        profile = redis_baseline_profile()
+        assert profile.get(
+            StorageFeature.MONITORING).capability is Capability.FULL
+        assert profile.get(
+            StorageFeature.INDEXING).capability is Capability.FULL
+        assert profile.get(
+            StorageFeature.LOCATION).capability is Capability.FULL
+        assert profile.get(StorageFeature.TIMELY_DELETION
+                           ).capability is Capability.PARTIAL
+        assert profile.get(StorageFeature.ACCESS_CONTROL
+                           ).capability is Capability.NONE
+        assert profile.get(
+            StorageFeature.ENCRYPTION).capability is Capability.NONE
+
+    def test_baseline_not_strict(self):
+        assert not redis_baseline_profile().strict
+
+    def test_baseline_fails_security_articles(self):
+        assessment = assess(redis_baseline_profile())
+        art25 = next(v for v in assessment.verdicts
+                     if v.article.number == "25")
+        assert not art25.compliant
+        assert "access control" in art25.missing
+        assert "encryption" in art25.missing
+
+
+class TestAssessment:
+    def test_weakest_link_rule(self):
+        profile = FeatureProfile(name="partial", support={
+            feature: FeatureSupport(Capability.FULL,
+                                    ResponseTime.REAL_TIME)
+            for feature in ALL_FEATURES
+        })
+        profile.support[StorageFeature.ENCRYPTION] = FeatureSupport(
+            Capability.PARTIAL, ResponseTime.REAL_TIME)
+        assessment = assess(profile)
+        art32 = next(v for v in assessment.verdicts
+                     if v.article.number == "32")
+        assert art32.capability is Capability.PARTIAL
+
+    def test_fully_supported_profile_is_strict(self):
+        profile = FeatureProfile(name="ideal", support={
+            feature: FeatureSupport(Capability.FULL,
+                                    ResponseTime.REAL_TIME)
+            for feature in ALL_FEATURES
+        })
+        assessment = assess(profile)
+        assert assessment.strict
+        assert assessment.articles_strict == 13
+        assert assessment.articles_compliant == 13
+
+    def test_empty_profile_fails_everything(self):
+        assessment = assess(FeatureProfile(name="nothing"))
+        assert assessment.articles_compliant == 0
+
+    def test_eventual_response_breaks_strictness(self):
+        profile = FeatureProfile(name="slow", support={
+            feature: FeatureSupport(Capability.FULL,
+                                    ResponseTime.EVENTUAL)
+            for feature in ALL_FEATURES
+        })
+        assessment = assess(profile)
+        assert assessment.articles_compliant == 13
+        assert assessment.articles_strict == 0
+
+
+class TestDerivedProfiles:
+    def make_store(self, appendfsync="always", expiry="indexed",
+                   durability=AuditDurability.SYNC, encrypt=True):
+        kv = KeyValueStore(
+            StoreConfig(appendonly=True, appendfsync=appendfsync,
+                        aof_log_reads=True, expiry_strategy=expiry),
+            clock=SimClock())
+        return GDPRStore(kv=kv, config=GDPRConfig(
+            encrypt_at_rest=encrypt, audit_durability=durability))
+
+    def test_strict_store_assesses_strict(self):
+        profile = gdpr_store_profile(self.make_store())
+        assert assess(profile).strict
+
+    def test_lazy_expiry_demotes_deletion_to_eventual(self):
+        profile = gdpr_store_profile(self.make_store(expiry="lazy"))
+        support = profile.get(StorageFeature.TIMELY_DELETION)
+        assert support.response is ResponseTime.EVENTUAL
+        assert not assess(profile).strict
+
+    def test_batched_audit_demotes_monitoring(self):
+        profile = gdpr_store_profile(
+            self.make_store(durability=AuditDurability.BATCH))
+        assert profile.get(StorageFeature.MONITORING
+                           ).response is ResponseTime.EVENTUAL
+
+    def test_no_tls_demotes_encryption(self):
+        profile = gdpr_store_profile(self.make_store(),
+                                     tls_enabled=False)
+        assert profile.get(StorageFeature.ENCRYPTION
+                           ).capability is Capability.PARTIAL
+
+
+class TestRendering:
+    def test_plain_table_has_all_rows(self):
+        text = render_table1()
+        assert "Right to be forgotten" in text
+        assert "Timely Deletion" in text
+        assert len(text.splitlines()) == 15  # header + rule + 13 rows
+
+    def test_comparison_columns(self):
+        text = render_table1([redis_baseline_profile()])
+        assert "redis-4.0-unmodified" in text
+        assert "none/" in text  # encryption rows show the gap

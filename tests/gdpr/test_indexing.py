@@ -1,0 +1,137 @@
+"""Tests for the metadata secondary indexes."""
+
+from repro.gdpr.indexing import MetadataIndex
+from repro.gdpr.metadata import GDPRMetadata
+
+
+def meta(owner="alice", purposes=("billing",), objections=(),
+         shared=(), ttl=None, created_at=0.0):
+    return GDPRMetadata(owner=owner, purposes=frozenset(purposes),
+                        objections=frozenset(objections),
+                        shared_with=frozenset(shared), ttl=ttl,
+                        created_at=created_at)
+
+
+class TestOwnerIndex:
+    def test_keys_of_owner(self):
+        index = MetadataIndex()
+        index.add("k1", meta())
+        index.add("k2", meta())
+        index.add("k3", meta(owner="bob"))
+        assert index.keys_of_owner("alice") == ["k1", "k2"]
+        assert index.keys_of_owner("bob") == ["k3"]
+
+    def test_unknown_owner_empty(self):
+        assert MetadataIndex().keys_of_owner("ghost") == []
+
+    def test_remove_updates_owner_index(self):
+        index = MetadataIndex()
+        index.add("k1", meta())
+        index.remove("k1")
+        assert index.keys_of_owner("alice") == []
+
+    def test_owners_listing(self):
+        index = MetadataIndex()
+        index.add("k1", meta(owner="zed"))
+        index.add("k2", meta(owner="amy"))
+        assert index.owners() == ["amy", "zed"]
+
+
+class TestPurposeIndex:
+    def test_keys_for_purpose(self):
+        index = MetadataIndex()
+        index.add("k1", meta(purposes=("billing", "ads")))
+        index.add("k2", meta(purposes=("billing",)))
+        assert index.keys_for_purpose("ads") == ["k1"]
+        assert index.keys_for_purpose("billing") == ["k1", "k2"]
+
+    def test_objections_excluded(self):
+        index = MetadataIndex()
+        index.add("k1", meta(purposes=("billing",), objections=("ads",)))
+        index.add("k2", meta(purposes=("ads",)))
+        assert index.keys_for_purpose("ads") == ["k2"]
+
+    def test_reindex_after_objection_update(self):
+        index = MetadataIndex()
+        index.add("k1", meta(purposes=("ads",)))
+        updated = index.get_metadata("k1").with_objection("ads")
+        index.add("k1", updated)
+        assert index.keys_for_purpose("ads") == []
+
+    def test_purposes_listing(self):
+        index = MetadataIndex()
+        index.add("k1", meta(purposes=("b", "a")))
+        assert index.purposes() == ["a", "b"]
+
+
+class TestRecipientIndex:
+    def test_keys_shared_with(self):
+        index = MetadataIndex()
+        index.add("k1", meta(shared=("partner",)))
+        index.add("k2", meta())
+        assert index.keys_shared_with("partner") == ["k1"]
+        assert index.keys_shared_with("nobody") == []
+
+
+class TestExpiryIndex:
+    def test_expired_keys(self):
+        index = MetadataIndex()
+        index.add("soon", meta(ttl=10.0, created_at=0.0))
+        index.add("later", meta(ttl=100.0, created_at=0.0))
+        assert index.expired_keys(now=50.0) == ["soon"]
+        assert index.expired_keys(now=50.0) == []  # consumed
+
+    def test_next_deadline(self):
+        index = MetadataIndex()
+        index.add("a", meta(ttl=30.0, created_at=0.0))
+        index.add("b", meta(ttl=10.0, created_at=0.0))
+        assert index.next_deadline() == 10.0
+
+    def test_next_deadline_skips_removed(self):
+        index = MetadataIndex()
+        index.add("a", meta(ttl=10.0, created_at=0.0))
+        index.add("b", meta(ttl=30.0, created_at=0.0))
+        index.remove("a")
+        assert index.next_deadline() == 30.0
+
+    def test_no_deadline(self):
+        index = MetadataIndex()
+        index.add("a", meta())
+        assert index.next_deadline() is None
+
+
+class TestLifecycle:
+    def test_contains_and_len(self):
+        index = MetadataIndex()
+        index.add("k", meta())
+        assert "k" in index and len(index) == 1
+
+    def test_readd_replaces(self):
+        index = MetadataIndex()
+        index.add("k", meta(owner="alice"))
+        index.add("k", meta(owner="bob"))
+        assert index.keys_of_owner("alice") == []
+        assert index.keys_of_owner("bob") == ["k"]
+        assert len(index) == 1
+
+    def test_remove_returns_metadata(self):
+        index = MetadataIndex()
+        m = meta()
+        index.add("k", m)
+        assert index.remove("k") == m
+        assert index.remove("k") is None
+
+    def test_clear(self):
+        index = MetadataIndex()
+        index.add("k", meta(ttl=5.0))
+        index.clear()
+        assert len(index) == 0
+        assert index.next_deadline() is None
+
+    def test_rebuild(self):
+        index = MetadataIndex()
+        index.add("old", meta())
+        count = index.rebuild([("n1", meta()), ("n2", meta(owner="bob"))])
+        assert count == 2
+        assert "old" not in index
+        assert index.keys_of_owner("alice") == ["n1"]

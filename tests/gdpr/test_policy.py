@@ -1,0 +1,124 @@
+"""Tests for retention policies and legal holds."""
+
+import pytest
+
+from repro.common.errors import RetentionViolationError
+from repro.gdpr.metadata import GDPRMetadata
+from repro.gdpr.policy import PolicyEngine, RetentionPolicy
+
+
+def meta(purposes=("billing",), ttl=None, created_at=0.0):
+    return GDPRMetadata(owner="alice", purposes=frozenset(purposes),
+                        ttl=ttl, created_at=created_at)
+
+
+class TestPolicyAdministration:
+    def test_set_and_get(self):
+        engine = PolicyEngine()
+        policy = RetentionPolicy("billing", 86400.0)
+        engine.set_policy(policy)
+        assert engine.policy_for("billing") == policy
+
+    def test_remove(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 1.0))
+        assert engine.remove_policy("billing") is True
+        assert engine.remove_policy("billing") is False
+
+    def test_policies_sorted(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("zeta", 1.0))
+        engine.set_policy(RetentionPolicy("alpha", 1.0))
+        assert [p.purpose for p in engine.policies()] == ["alpha", "zeta"]
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy("x", 0.0)
+
+
+class TestEffectiveRetention:
+    def test_no_policy_no_ttl(self):
+        assert PolicyEngine().effective_retention(meta()) is None
+
+    def test_policy_bound_applies(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 100.0))
+        assert engine.effective_retention(meta()) == 100.0
+
+    def test_minimum_across_purposes(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 100.0))
+        engine.set_policy(RetentionPolicy("ads", 10.0))
+        assert engine.effective_retention(
+            meta(purposes=("billing", "ads"))) == 10.0
+
+    def test_declared_ttl_can_tighten(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 100.0))
+        assert engine.effective_retention(meta(ttl=5.0)) == 5.0
+
+    def test_default_retention_fallback(self):
+        engine = PolicyEngine(default_retention=50.0)
+        assert engine.effective_retention(
+            meta(purposes=("unmapped",))) == 50.0
+
+
+class TestValidation:
+    def test_ttl_over_bound_rejected(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 10.0))
+        with pytest.raises(RetentionViolationError):
+            engine.validate(meta(ttl=100.0))
+
+    def test_missing_ttl_under_policy_rejected(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 10.0))
+        with pytest.raises(RetentionViolationError):
+            engine.validate(meta(ttl=None))
+
+    def test_compliant_ttl_passes(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 100.0))
+        engine.validate(meta(ttl=50.0))
+
+    def test_unmapped_purpose_unconstrained(self):
+        PolicyEngine().validate(meta(purposes=("anything",), ttl=None))
+
+
+class TestOverdueSweep:
+    def test_overdue_detection(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 100.0))
+        entries = [
+            ("old", meta(created_at=0.0)),
+            ("new", meta(created_at=500.0)),
+        ]
+        assert engine.overdue(entries, now=200.0) == ["old"]
+
+    def test_unbounded_never_overdue(self):
+        engine = PolicyEngine()
+        assert engine.overdue([("k", meta())], now=1e12) == []
+
+    def test_legal_hold_suspends_erasure(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 10.0))
+        engine.place_legal_hold("held")
+        entries = [("held", meta(created_at=0.0)),
+                   ("free", meta(created_at=0.0))]
+        assert engine.overdue(entries, now=100.0) == ["free"]
+
+    def test_released_hold_resumes(self):
+        engine = PolicyEngine()
+        engine.set_policy(RetentionPolicy("billing", 10.0))
+        engine.place_legal_hold("k")
+        assert engine.release_legal_hold("k") is True
+        assert engine.release_legal_hold("k") is False
+        assert engine.overdue([("k", meta(created_at=0.0))],
+                              now=100.0) == ["k"]
+
+    def test_held_keys_listed(self):
+        engine = PolicyEngine()
+        engine.place_legal_hold("b")
+        engine.place_legal_hold("a")
+        assert engine.held_keys == ["a", "b"]
+        assert engine.is_held("a")

@@ -1,0 +1,172 @@
+"""Tests for async replication and the erasure-propagation horizon."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.kvstore import KeyValueStore, ReplicationManager, StoreConfig
+
+
+def make_primary(clock=None, **config):
+    clock = clock if clock is not None else SimClock()
+    return KeyValueStore(StoreConfig(**config), clock=clock), clock
+
+
+class TestBasicReplication:
+    def test_write_reaches_replica(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.010)
+        primary.execute("SET", "k", "v")
+        assert link.replica.execute("GET", "k") is None  # still in flight
+        clock.advance(0.011)
+        manager.pump()
+        assert link.replica.execute("GET", "k") == b"v"
+
+    def test_reads_not_replicated(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.0)
+        primary.execute("SET", "k", "v")
+        primary.execute("GET", "k")
+        manager.pump()
+        assert link.stats.commands_applied == 1
+
+    def test_failed_writes_not_replicated(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.0)
+        primary.execute("SET", "k", "v")
+        primary.execute("SET", "k", "w", "NX")  # no-op
+        manager.pump()
+        assert link.stats.commands_applied == 1
+        assert link.replica.execute("GET", "k") == b"v"
+
+    def test_command_order_preserved(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.001)
+        for i in range(10):
+            primary.execute("APPEND", "seq", str(i))
+        clock.advance(0.01)
+        manager.pump()
+        assert link.replica.execute("GET", "seq") == b"0123456789"
+
+    def test_multiple_replicas_different_delays(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        fast = manager.add_replica("fast", delay=0.001)
+        slow = manager.add_replica("slow", delay=0.100)
+        primary.execute("SET", "k", "v")
+        clock.advance(0.002)
+        manager.pump()
+        assert fast.replica.execute("GET", "k") == b"v"
+        assert slow.replica.execute("GET", "k") is None
+        clock.advance(0.2)
+        manager.pump()
+        assert slow.replica.execute("GET", "k") == b"v"
+
+    def test_duplicate_replica_name_rejected(self):
+        primary, _ = make_primary()
+        manager = ReplicationManager(primary)
+        manager.add_replica("r1")
+        with pytest.raises(ValueError):
+            manager.add_replica("r1")
+
+    def test_remove_replica(self):
+        primary, _ = make_primary()
+        manager = ReplicationManager(primary)
+        manager.add_replica("r1")
+        assert manager.remove_replica("r1") is True
+        assert manager.remove_replica("r1") is False
+
+    def test_negative_delay_rejected(self):
+        primary, _ = make_primary()
+        manager = ReplicationManager(primary)
+        with pytest.raises(ValueError):
+            manager.add_replica("bad", delay=-1.0)
+
+    def test_expiry_translated_absolutely(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=5.0)  # very laggy
+        primary.execute("SET", "k", "v")
+        primary.execute("EXPIRE", "k", 100)
+        clock.advance(6.0)
+        manager.pump()
+        # The replica applied PEXPIREAT: deadline is absolute, so the
+        # 6 s of replication lag ate into the TTL rather than extending it.
+        assert link.replica.execute("TTL", "k") == 94
+
+    def test_full_sync(self):
+        primary, _ = make_primary()
+        manager = ReplicationManager(primary)
+        primary.execute("SET", "pre", "existing")
+        link = manager.add_replica("r1")
+        assert manager.full_sync("r1") == 1
+        assert link.replica.execute("GET", "pre") == b"existing"
+
+    def test_lag_reporting(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        manager.add_replica("r1", delay=0.5)
+        assert manager.max_lag() == 0.0
+        primary.execute("SET", "k", "v")
+        assert 0.4 <= manager.max_lag() <= 0.5
+
+
+class TestErasurePropagation:
+    """The GDPR angle: a DEL is not erasure until replicas catch up."""
+
+    def test_deleted_key_visible_on_replica_until_pump(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.050)
+        primary.execute("SET", "pii", "secret")
+        clock.advance(0.1)
+        manager.pump()
+        primary.execute("DEL", "pii")
+        # Primary no longer serves it, but the replica still does.
+        assert primary.execute("GET", "pii") is None
+        assert link.replica.execute("GET", "pii") == b"secret"
+        assert manager.key_visible_anywhere(b"pii")
+
+    def test_erasure_horizon_bounded_by_slowest_replica(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        manager.add_replica("fast", delay=0.010)
+        manager.add_replica("slow", delay=0.200)
+        primary.execute("SET", "pii", "secret")
+        clock.advance(0.5)
+        manager.pump()
+        primary.execute("DEL", "pii")
+        horizon = manager.erasure_horizon(b"pii", step=0.005)
+        assert horizon is not None
+        assert 0.195 <= horizon <= 0.25
+
+    def test_active_expiry_propagates_to_replicas(self):
+        primary, clock = make_primary(expiry_strategy="fullscan")
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.001)
+        primary.execute("SET", "k", "v", "EX", 5)
+        clock.advance(0.01)
+        manager.pump()
+        clock.advance(6)
+        primary.cron()  # primary reclaims and emits DEL
+        clock.advance(0.01)
+        manager.pump()
+        assert b"k" not in link.replica.databases[0]
+
+    def test_horizon_none_when_unreachable(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.0)
+        primary.execute("SET", "pii", "x")
+        manager.pump()
+        # Simulate a partitioned replica: clear its queue processing by
+        # deleting only on the primary and never pumping that link.
+        primary.execute("DEL", "pii")
+        link.delay = 10_000.0
+        # Re-enqueue happened at delay=0 though; emulate stuck delivery:
+        link._queue.clear()
+        assert manager.erasure_horizon(b"pii", step=0.01,
+                                       max_wait=0.1) is None

@@ -1,0 +1,128 @@
+"""Tests for the RESP server/client over simulated channels."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.resp import RespError, SimpleString
+from repro.kvstore import KeyValueStore, StoreConfig, connect_plain, connect_tls
+from repro.net.channel import loopback
+from repro.net.tls import stunnel_channel
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def plain_client(clock, **config):
+    store = KeyValueStore(StoreConfig(**config), clock=clock)
+    channel = loopback(clock)
+    return connect_plain(store, channel), store
+
+
+class TestPlainClient:
+    def test_set_get(self, clock):
+        client, _ = plain_client(clock)
+        assert client.call("SET", "k", "v") == SimpleString("OK")
+        assert client.call("GET", "k") == b"v"
+
+    def test_null_reply(self, clock):
+        client, _ = plain_client(clock)
+        assert client.call("GET", "missing") is None
+
+    def test_integer_reply(self, clock):
+        client, _ = plain_client(clock)
+        client.call("SET", "k", "v")
+        assert client.call("EXISTS", "k") == 1
+
+    def test_array_reply(self, clock):
+        client, _ = plain_client(clock)
+        client.call("RPUSH", "l", "a", "b")
+        assert client.call("LRANGE", "l", 0, -1) == [b"a", b"b"]
+
+    def test_error_raised(self, clock):
+        client, _ = plain_client(clock)
+        with pytest.raises(RespError):
+            client.call("NOSUCHCMD")
+
+    def test_error_returned_when_not_raising(self, clock):
+        client, _ = plain_client(clock)
+        reply = client.call("NOSUCHCMD", raise_errors=False)
+        assert isinstance(reply, RespError)
+
+    def test_wrongtype_surfaces_as_resp_error(self, clock):
+        client, _ = plain_client(clock)
+        client.call("HSET", "h", "f", "v")
+        with pytest.raises(RespError) as excinfo:
+            client.call("GET", "h")
+        assert "WRONGTYPE" in str(excinfo.value)
+
+    def test_arity_error_surfaces(self, clock):
+        client, _ = plain_client(clock)
+        with pytest.raises(RespError) as excinfo:
+            client.call("GET")
+        assert "wrong number of arguments" in str(excinfo.value)
+
+    def test_round_trip_advances_clock(self, clock):
+        client, _ = plain_client(clock)
+        before = clock.now()
+        client.call("PING")
+        assert clock.now() > before
+
+    def test_ping(self, clock):
+        client, _ = plain_client(clock)
+        assert client.call("PING") == SimpleString("PONG")
+        assert client.call("PING", "hello") == b"hello"
+
+    def test_binary_safe_args(self, clock):
+        client, _ = plain_client(clock)
+        payload = bytes(range(256))
+        client.call("SET", b"bin", payload)
+        assert client.call("GET", "bin") == payload
+
+
+class TestTlsClient:
+    def test_commands_over_tls(self, clock):
+        store = KeyValueStore(StoreConfig(), clock=clock)
+        channel = stunnel_channel(clock)
+        client = connect_tls(store, channel, b"secret", clock=clock)
+        assert client.call("SET", "k", "v") == SimpleString("OK")
+        assert client.call("GET", "k") == b"v"
+
+    def test_tls_slower_than_plain(self):
+        plain_clock = SimClock()
+        client, _ = plain_client(plain_clock)
+        client.call("SET", "k", "v" * 1000)
+        tls_clock = SimClock()
+        store = KeyValueStore(StoreConfig(), clock=tls_clock)
+        channel = stunnel_channel(tls_clock)
+        tls_client = connect_tls(store, channel, b"secret",
+                                 clock=tls_clock)
+        tls_start = tls_clock.now()  # skip handshake cost
+        tls_client.call("SET", "k", "v" * 1000)
+        assert tls_clock.now() - tls_start > plain_clock.now()
+
+
+class TestMonitorOverServer:
+    def test_monitor_streams_commands(self, clock):
+        store = KeyValueStore(StoreConfig(), clock=clock)
+        channel = loopback(clock)
+        worker = connect_plain(store, channel)
+        # A second connection on its own channel becomes the monitor.
+        monitor_channel = loopback(clock)
+        monitor_client = connect_plain(store, monitor_channel)
+        assert monitor_client.call("MONITOR") == SimpleString("OK")
+        worker.call("SET", "k", "v")
+        stream = monitor_channel.endpoints()[0].recv()
+        assert b"SET" in stream and b'"k"' in stream
+
+    def test_monitor_records_counted(self, clock):
+        store = KeyValueStore(StoreConfig(), clock=clock)
+        channel = loopback(clock)
+        worker = connect_plain(store, channel)
+        monitor_channel = loopback(clock)
+        monitor_client = connect_plain(store, monitor_channel)
+        monitor_client.call("MONITOR")
+        worker.call("SET", "a", "1")
+        worker.call("GET", "a")
+        assert store.monitor.records_streamed == 2

@@ -1,0 +1,185 @@
+"""Tests for string commands."""
+
+import pytest
+
+from repro.common.errors import ArityError, UnknownCommandError, WrongTypeError
+from repro.common.resp import RespError, SimpleString
+from repro.kvstore import KeyValueStore
+
+
+@pytest.fixture
+def store():
+    return KeyValueStore()
+
+
+class TestGetSet:
+    def test_set_returns_ok(self, store):
+        assert store.execute("SET", "k", "v") == SimpleString("OK")
+
+    def test_get_returns_bytes(self, store):
+        store.execute("SET", "k", "v")
+        assert store.execute("GET", "k") == b"v"
+
+    def test_get_missing_returns_none(self, store):
+        assert store.execute("GET", "nope") is None
+
+    def test_set_overwrites(self, store):
+        store.execute("SET", "k", "v1")
+        store.execute("SET", "k", "v2")
+        assert store.execute("GET", "k") == b"v2"
+
+    def test_binary_values(self, store):
+        payload = bytes(range(256))
+        store.execute("SET", b"k", payload)
+        assert store.execute("GET", "k") == payload
+
+    def test_set_ex_sets_ttl(self, store):
+        store.execute("SET", "k", "v", "EX", 100)
+        assert store.execute("TTL", "k") == 100
+
+    def test_set_px_sets_ttl(self, store):
+        store.execute("SET", "k", "v", "PX", 5000)
+        assert store.execute("TTL", "k") == 5
+
+    def test_set_nx_on_missing(self, store):
+        assert store.execute("SET", "k", "v", "NX") == SimpleString("OK")
+
+    def test_set_nx_on_existing(self, store):
+        store.execute("SET", "k", "v1")
+        assert store.execute("SET", "k", "v2", "NX") is None
+        assert store.execute("GET", "k") == b"v1"
+
+    def test_set_xx_on_missing(self, store):
+        assert store.execute("SET", "k", "v", "XX") is None
+
+    def test_set_xx_on_existing(self, store):
+        store.execute("SET", "k", "v1")
+        assert store.execute("SET", "k", "v2", "XX") == SimpleString("OK")
+
+    def test_set_clears_previous_ttl(self, store):
+        store.execute("SET", "k", "v", "EX", 100)
+        store.execute("SET", "k", "v2")
+        assert store.execute("TTL", "k") == -1
+
+    def test_set_nx_xx_conflict(self, store):
+        with pytest.raises(RespError):
+            store.execute("SET", "k", "v", "NX", "XX")
+
+    def test_set_bad_option(self, store):
+        with pytest.raises(RespError):
+            store.execute("SET", "k", "v", "BOGUS")
+
+    def test_set_nonpositive_expire(self, store):
+        with pytest.raises(RespError):
+            store.execute("SET", "k", "v", "EX", 0)
+
+    def test_get_wrong_type(self, store):
+        store.execute("HSET", "h", "f", "v")
+        with pytest.raises(WrongTypeError):
+            store.execute("GET", "h")
+
+
+class TestSetVariants:
+    def test_setnx(self, store):
+        assert store.execute("SETNX", "k", "v") == 1
+        assert store.execute("SETNX", "k", "w") == 0
+
+    def test_setex(self, store):
+        store.execute("SETEX", "k", 60, "v")
+        assert store.execute("GET", "k") == b"v"
+        assert store.execute("TTL", "k") == 60
+
+    def test_setex_rejects_bad_ttl(self, store):
+        with pytest.raises(RespError):
+            store.execute("SETEX", "k", 0, "v")
+        with pytest.raises(RespError):
+            store.execute("SETEX", "k", -5, "v")
+
+    def test_psetex(self, store):
+        store.execute("PSETEX", "k", 1500, "v")
+        assert store.execute("PTTL", "k") == 1500
+
+    def test_getset(self, store):
+        assert store.execute("GETSET", "k", "v1") is None
+        assert store.execute("GETSET", "k", "v2") == b"v1"
+        assert store.execute("GET", "k") == b"v2"
+
+    def test_append_creates(self, store):
+        assert store.execute("APPEND", "k", "ab") == 2
+        assert store.execute("APPEND", "k", "cd") == 4
+        assert store.execute("GET", "k") == b"abcd"
+
+    def test_strlen(self, store):
+        store.execute("SET", "k", "hello")
+        assert store.execute("STRLEN", "k") == 5
+        assert store.execute("STRLEN", "missing") == 0
+
+
+class TestCounters:
+    def test_incr_from_missing(self, store):
+        assert store.execute("INCR", "n") == 1
+        assert store.execute("INCR", "n") == 2
+
+    def test_decr(self, store):
+        assert store.execute("DECR", "n") == -1
+
+    def test_incrby_decrby(self, store):
+        assert store.execute("INCRBY", "n", 10) == 10
+        assert store.execute("DECRBY", "n", 3) == 7
+
+    def test_incr_non_integer_value(self, store):
+        store.execute("SET", "n", "abc")
+        with pytest.raises(RespError):
+            store.execute("INCR", "n")
+
+    def test_incrby_non_integer_delta(self, store):
+        with pytest.raises(RespError):
+            store.execute("INCRBY", "n", "abc")
+
+    def test_incr_stores_string(self, store):
+        store.execute("INCR", "n")
+        assert store.execute("GET", "n") == b"1"
+
+
+class TestMulti:
+    def test_mset_mget(self, store):
+        store.execute("MSET", "a", "1", "b", "2")
+        assert store.execute("MGET", "a", "b", "c") == [b"1", b"2", None]
+
+    def test_mset_odd_args(self, store):
+        with pytest.raises(RespError):
+            store.execute("MSET", "a", "1", "b")
+
+    def test_mget_skips_wrong_type(self, store):
+        store.execute("HSET", "h", "f", "v")
+        store.execute("SET", "s", "x")
+        assert store.execute("MGET", "h", "s") == [None, b"x"]
+
+
+class TestDispatch:
+    def test_unknown_command(self, store):
+        with pytest.raises(UnknownCommandError):
+            store.execute("FROBNICATE", "k")
+
+    def test_arity_exact(self, store):
+        with pytest.raises(ArityError):
+            store.execute("GET")
+        with pytest.raises(ArityError):
+            store.execute("GET", "a", "b")
+
+    def test_arity_minimum(self, store):
+        with pytest.raises(ArityError):
+            store.execute("SET", "k")
+
+    def test_case_insensitive_names(self, store):
+        store.execute("set", "k", "v")
+        assert store.execute("GeT", "k") == b"v"
+
+    def test_int_arguments_coerced(self, store):
+        store.execute("SET", "k", 123)
+        assert store.execute("GET", "k") == b"123"
+
+    def test_commands_counted(self, store):
+        store.execute("SET", "k", "v")
+        store.execute("GET", "k")
+        assert store.stats.commands_processed == 2

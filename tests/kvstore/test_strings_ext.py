@@ -1,0 +1,124 @@
+"""Tests for the extended string/hash commands."""
+
+import pytest
+
+from repro.common.errors import WrongTypeError
+from repro.common.resp import RespError
+from repro.kvstore import KeyValueStore
+
+
+@pytest.fixture
+def store():
+    return KeyValueStore()
+
+
+class TestGetRange:
+    def test_basic_slice(self, store):
+        store.execute("SET", "k", "Hello World")
+        assert store.execute("GETRANGE", "k", 0, 4) == b"Hello"
+
+    def test_negative_indexes(self, store):
+        store.execute("SET", "k", "Hello World")
+        assert store.execute("GETRANGE", "k", -5, -1) == b"World"
+
+    def test_full_string(self, store):
+        store.execute("SET", "k", "abc")
+        assert store.execute("GETRANGE", "k", 0, -1) == b"abc"
+
+    def test_missing_key(self, store):
+        assert store.execute("GETRANGE", "nope", 0, 10) == b""
+
+    def test_inverted_range(self, store):
+        store.execute("SET", "k", "abc")
+        assert store.execute("GETRANGE", "k", 2, 1) == b""
+
+    def test_out_of_bounds_clamped(self, store):
+        store.execute("SET", "k", "abc")
+        assert store.execute("GETRANGE", "k", 0, 100) == b"abc"
+
+
+class TestSetRange:
+    def test_overwrite_middle(self, store):
+        store.execute("SET", "k", "Hello World")
+        assert store.execute("SETRANGE", "k", 6, "Redis") == 11
+        assert store.execute("GET", "k") == b"Hello Redis"
+
+    def test_zero_pad_on_gap(self, store):
+        assert store.execute("SETRANGE", "k", 5, "x") == 6
+        assert store.execute("GET", "k") == b"\x00\x00\x00\x00\x00x"
+
+    def test_extend_beyond_end(self, store):
+        store.execute("SET", "k", "ab")
+        store.execute("SETRANGE", "k", 2, "cd")
+        assert store.execute("GET", "k") == b"abcd"
+
+    def test_negative_offset_rejected(self, store):
+        with pytest.raises(RespError):
+            store.execute("SETRANGE", "k", -1, "x")
+
+    def test_wrong_type(self, store):
+        store.execute("HSET", "h", "f", "v")
+        with pytest.raises(WrongTypeError):
+            store.execute("SETRANGE", "h", 0, "x")
+
+
+class TestIncrByFloat:
+    def test_from_missing(self, store):
+        assert store.execute("INCRBYFLOAT", "k", "1.5") == b"1.5"
+
+    def test_accumulates(self, store):
+        store.execute("INCRBYFLOAT", "k", "10.5")
+        assert store.execute("INCRBYFLOAT", "k", "0.1") == b"10.6"
+
+    def test_negative_delta(self, store):
+        store.execute("SET", "k", "5")
+        assert store.execute("INCRBYFLOAT", "k", "-2.5") == b"2.5"
+
+    def test_integral_result_trims_point(self, store):
+        store.execute("SET", "k", "1.5")
+        assert store.execute("INCRBYFLOAT", "k", "0.5") == b"2"
+
+    def test_non_float_value(self, store):
+        store.execute("SET", "k", "abc")
+        with pytest.raises(RespError):
+            store.execute("INCRBYFLOAT", "k", "1")
+
+    def test_non_float_delta(self, store):
+        with pytest.raises(RespError):
+            store.execute("INCRBYFLOAT", "k", "xyz")
+
+
+class TestHashExtensions:
+    def test_hincrby_from_missing(self, store):
+        assert store.execute("HINCRBY", "h", "n", 5) == 5
+        assert store.execute("HINCRBY", "h", "n", -2) == 3
+
+    def test_hincrby_existing_field(self, store):
+        store.execute("HSET", "h", "n", "10")
+        assert store.execute("HINCRBY", "h", "n", 7) == 17
+
+    def test_hincrby_non_integer(self, store):
+        store.execute("HSET", "h", "n", "abc")
+        with pytest.raises(RespError):
+            store.execute("HINCRBY", "h", "n", 1)
+
+    def test_hstrlen(self, store):
+        store.execute("HSET", "h", "f", "hello")
+        assert store.execute("HSTRLEN", "h", "f") == 5
+        assert store.execute("HSTRLEN", "h", "missing") == 0
+        assert store.execute("HSTRLEN", "nope", "f") == 0
+
+
+class TestPersistenceOfExtensions:
+    def test_extended_commands_replay(self, store):
+        from repro.kvstore import StoreConfig
+
+        source = KeyValueStore(StoreConfig(appendonly=True))
+        source.execute("SETRANGE", "s", 0, "base")
+        source.execute("INCRBYFLOAT", "f", "2.5")
+        source.execute("HINCRBY", "h", "n", 9)
+        replica = KeyValueStore(StoreConfig(appendonly=True))
+        replica.replay_aof(source.aof_log.read_all())
+        assert replica.execute("GET", "s") == b"base"
+        assert replica.execute("GET", "f") == b"2.5"
+        assert replica.execute("HGET", "h", "n") == b"9"

@@ -1,0 +1,68 @@
+"""Property: replicas converge to exactly the primary's state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import SimClock
+from repro.kvstore import KeyValueStore, ReplicationManager, StoreConfig
+
+KEYS = [b"a", b"b", b"c"]
+VALS = [b"1", b"2"]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("SET"), st.sampled_from(KEYS),
+                  st.sampled_from(VALS)),
+        st.tuples(st.just("DEL"), st.sampled_from(KEYS)),
+        st.tuples(st.just("APPEND"), st.sampled_from(KEYS),
+                  st.sampled_from(VALS)),
+        st.tuples(st.just("INCR"), st.just(b"counter")),
+        st.tuples(st.just("EXPIRE"), st.sampled_from(KEYS),
+                  st.integers(1, 100)),
+        st.tuples(st.just("SADD"), st.just(b"set"),
+                  st.sampled_from(VALS)),
+        st.tuples(st.just("HSET"), st.just(b"hash"),
+                  st.sampled_from(KEYS), st.sampled_from(VALS)),
+    ),
+    max_size=40)
+
+
+def state_of(store):
+    db = store.databases[0]
+    return ({key: db.get_value(key) for key in sorted(db.keys())},
+            {k: round(v, 6) for k, v in db.expires.items()})
+
+
+@given(ops, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_replica_converges_to_primary(op_list, delay):
+    clock = SimClock()
+    primary = KeyValueStore(StoreConfig(), clock=clock)
+    manager = ReplicationManager(primary)
+    link = manager.add_replica("r", delay=delay)
+    for op in op_list:
+        try:
+            primary.execute(*op)
+        except Exception:
+            pass  # type conflicts are legitimate no-ops
+    clock.advance(delay + 0.001)
+    manager.pump()
+    assert state_of(link.replica) == state_of(primary)
+
+
+@given(ops)
+@settings(max_examples=25, deadline=None)
+def test_two_replicas_identical(op_list):
+    clock = SimClock()
+    primary = KeyValueStore(StoreConfig(), clock=clock)
+    manager = ReplicationManager(primary)
+    a = manager.add_replica("a", delay=0.0)
+    b = manager.add_replica("b", delay=0.5)
+    for op in op_list:
+        try:
+            primary.execute(*op)
+        except Exception:
+            pass
+    clock.advance(1.0)
+    manager.pump()
+    assert state_of(a.replica) == state_of(b.replica)

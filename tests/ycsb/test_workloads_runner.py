@@ -1,0 +1,293 @@
+"""Tests for workload specs, record generation, adapters, and the runner."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.gdpr import GDPRConfig, GDPRMetadata, GDPRStore
+from repro.kvstore import KeyValueStore, StoreConfig, connect_plain
+from repro.net.channel import loopback
+from repro.ycsb import (
+    CORE_WORKLOADS,
+    FIGURE1_PHASES,
+    ClientAdapter,
+    FieldGenerator,
+    GDPRAdapter,
+    KVAdapter,
+    WorkloadRunner,
+    WorkloadSpec,
+    build_key_name,
+    load_and_run,
+    pack_fields,
+    unpack_fields,
+)
+
+
+class TestWorkloadSpecs:
+    def test_core_workloads_defined(self):
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_proportions_sum_to_one(self):
+        for spec in CORE_WORKLOADS.values():
+            total = sum(p for _, p in spec.operation_mix())
+            assert total == pytest.approx(1.0)
+
+    def test_a_is_half_updates(self):
+        assert CORE_WORKLOADS["A"].update_proportion == 0.5
+
+    def test_c_is_read_only(self):
+        assert CORE_WORKLOADS["C"].read_proportion == 1.0
+
+    def test_d_uses_latest(self):
+        assert CORE_WORKLOADS["D"].request_distribution == "latest"
+
+    def test_e_scans(self):
+        assert CORE_WORKLOADS["E"].scan_proportion == 0.95
+
+    def test_record_shape(self):
+        spec = CORE_WORKLOADS["A"]
+        assert spec.field_count == 10
+        assert spec.field_length == 100
+
+    def test_invalid_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=0.7)
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=1.0,
+                         request_distribution="gaussian")
+
+    def test_scaled_copy(self):
+        scaled = CORE_WORKLOADS["A"].scaled(record_count=50,
+                                            operation_count=99)
+        assert scaled.record_count == 50
+        assert scaled.operation_count == 99
+        assert CORE_WORKLOADS["A"].record_count != 50 or True
+
+    def test_figure1_phases(self):
+        assert FIGURE1_PHASES == ("Load-A", "A", "B", "C", "D",
+                                  "Load-E", "E", "F")
+
+
+class TestGenerators:
+    def test_key_name_hashed(self):
+        assert build_key_name(1) == build_key_name(1)
+        assert build_key_name(1) != build_key_name(2)
+        assert build_key_name(5).startswith("user")
+
+    def test_key_name_ordered(self):
+        assert build_key_name(7, ordered=True) < build_key_name(
+            8, ordered=True)
+
+    def test_field_values_shape(self):
+        gen = FieldGenerator(field_count=10, field_length=100)
+        values = gen.build_values()
+        assert len(values) == 10
+        assert all(len(v) == 100 for v in values.values())
+        assert set(values) == {f"field{i}" for i in range(10)}
+
+    def test_update_single_field(self):
+        gen = FieldGenerator()
+        update = gen.build_update()
+        assert len(update) == 1
+
+    def test_record_size(self):
+        assert FieldGenerator(10, 100).record_size() == 1000
+
+    def test_pack_unpack_fields(self):
+        values = {"field0": b"\x00binary\xff", "field1": b""}
+        assert unpack_fields(pack_fields(values)) == values
+
+
+@pytest.fixture
+def kv_adapter():
+    store = KeyValueStore(clock=SimClock())
+    return KVAdapter(store)
+
+
+class TestKVAdapter:
+    def test_insert_read(self, kv_adapter):
+        kv_adapter.insert("user1", {"f0": b"v0", "f1": b"v1"})
+        assert kv_adapter.read("user1") == {"f0": b"v0", "f1": b"v1"}
+
+    def test_read_subset(self, kv_adapter):
+        kv_adapter.insert("user1", {"f0": b"v0", "f1": b"v1"})
+        assert kv_adapter.read("user1", fields=["f1"]) == {"f1": b"v1"}
+
+    def test_update_merges(self, kv_adapter):
+        kv_adapter.insert("user1", {"f0": b"v0", "f1": b"v1"})
+        kv_adapter.update("user1", {"f1": b"new"})
+        assert kv_adapter.read("user1") == {"f0": b"v0", "f1": b"new"}
+
+    def test_scan_returns_records(self, kv_adapter):
+        for i in range(20):
+            kv_adapter.insert(f"user{i:03d}", {"f0": str(i).encode()})
+        results = kv_adapter.scan("user000", 5)
+        assert 1 <= len(results) <= 5
+        assert all(isinstance(r, dict) for r in results)
+
+    def test_delete(self, kv_adapter):
+        kv_adapter.insert("user1", {"f0": b"v"})
+        kv_adapter.delete("user1")
+        assert kv_adapter.read("user1") == {}
+
+
+class TestClientAdapter:
+    def test_roundtrip_over_channel(self):
+        clock = SimClock()
+        store = KeyValueStore(clock=clock)
+        client = connect_plain(store, loopback(clock))
+        adapter = ClientAdapter(client)
+        adapter.insert("u1", {"f0": b"v"})
+        assert adapter.read("u1") == {"f0": b"v"}
+        adapter.update("u1", {"f0": b"w"})
+        assert adapter.read("u1", fields=["f0"]) == {"f0": b"w"}
+        adapter.delete("u1")
+        assert adapter.read("u1") == {}
+
+
+class TestGDPRAdapter:
+    def make(self):
+        clock = SimClock()
+        kv = KeyValueStore(StoreConfig(appendonly=True), clock=clock)
+        store = GDPRStore(kv=kv, config=GDPRConfig())
+        return GDPRAdapter(store, purpose="service"), store
+
+    def test_insert_read(self):
+        adapter, _ = self.make()
+        adapter.insert("u1", {"f0": b"v0"})
+        assert adapter.read("u1") == {"f0": b"v0"}
+
+    def test_per_record_subjects(self):
+        adapter, store = self.make()
+        adapter.insert("u1", {"f0": b"v"})
+        adapter.insert("u2", {"f0": b"v"})
+        assert store.keys_of_subject("subject-u1") == ["u1"]
+        assert store.keys_of_subject("subject-u2") == ["u2"]
+
+    def test_operations_audited(self):
+        adapter, store = self.make()
+        adapter.insert("u1", {"f0": b"v"})
+        adapter.read("u1")
+        ops = [r.operation for r in store.audit.records()]
+        assert "put" in ops and "get" in ops
+
+    def test_update_preserves_other_fields(self):
+        adapter, _ = self.make()
+        adapter.insert("u1", {"f0": b"a", "f1": b"b"})
+        adapter.update("u1", {"f1": b"c"})
+        assert adapter.read("u1") == {"f0": b"a", "f1": b"c"}
+
+    def test_scan_sorted_window(self):
+        adapter, _ = self.make()
+        for i in range(10):
+            adapter.insert(f"user{i:02d}", {"f0": b"v"})
+        results = adapter.scan("user03", 4)
+        assert len(results) == 4
+
+    def test_delete(self):
+        adapter, store = self.make()
+        adapter.insert("u1", {"f0": b"v"})
+        adapter.delete("u1")
+        with pytest.raises(KeyError):
+            store.get("u1")
+
+
+class TestRunner:
+    def test_load_inserts_record_count(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["A"].scaled(record_count=50)
+        report = WorkloadRunner(adapter, spec, clock).load()
+        assert report.operations == 50
+        assert report.phase == "Load-A"
+        assert adapter.store.execute("DBSIZE") == 51  # records + index
+
+    def test_run_executes_operation_count(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["A"].scaled(record_count=50,
+                                          operation_count=200)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        report = runner.run()
+        assert report.operations == 200
+        assert report.failures == 0
+
+    def test_histograms_match_mix(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["A"].scaled(record_count=50,
+                                          operation_count=400)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        report = runner.run()
+        assert set(report.histograms) <= {"read", "update"}
+        reads = report.histograms["read"].count
+        updates = report.histograms["update"].count
+        assert reads + updates == 400
+        assert abs(reads - updates) < 120  # 50/50 mix
+
+    def test_throughput_requires_time(self):
+        clock = SimClock()
+        store = KeyValueStore(StoreConfig(command_cpu_cost=10e-6),
+                              clock=clock)
+        spec = CORE_WORKLOADS["C"].scaled(record_count=20,
+                                          operation_count=100)
+        reports = load_and_run(KVAdapter(store), spec, clock)
+        assert reports["run"].throughput > 0
+        assert reports["run"].sim_elapsed > 0
+
+    def test_workload_d_inserts_extend_keyspace(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["D"].scaled(record_count=50,
+                                          operation_count=300)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        runner.run()
+        assert runner.insert_counter.last_value() > 49
+
+    def test_workload_e_scans(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["E"].scaled(record_count=50,
+                                          operation_count=100)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        report = runner.run()
+        assert "scan" in report.histograms
+
+    def test_workload_f_rmw(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["F"].scaled(record_count=50,
+                                          operation_count=100)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        report = runner.run()
+        assert "rmw" in report.histograms or "read" in report.histograms
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            clock = SimClock()
+            store = KeyValueStore(StoreConfig(command_cpu_cost=10e-6),
+                                  clock=clock)
+            spec = CORE_WORKLOADS["A"].scaled(record_count=30,
+                                              operation_count=100)
+            reports = load_and_run(KVAdapter(store), spec, clock,
+                                   seed=seed)
+            return reports["run"].throughput
+
+        assert run(3) == run(3)
+
+    def test_summary_shape(self):
+        clock = SimClock()
+        adapter = KVAdapter(KeyValueStore(clock=clock))
+        spec = CORE_WORKLOADS["C"].scaled(record_count=20,
+                                          operation_count=50)
+        runner = WorkloadRunner(adapter, spec, clock)
+        runner.load()
+        summary = runner.run().summary()
+        assert {"phase", "operations", "throughput_ops_per_s",
+                "ops"} <= set(summary)
