@@ -9,6 +9,8 @@ The package layers:
 * :mod:`repro.gdpr`    -- the paper's contribution: metadata, audit
   logging, access control, encryption, residency, subject rights, and the
   compliance-spectrum assessor;
+* :mod:`repro.cluster` -- hash-slot sharding, pipelined cluster clients,
+  and cross-shard GDPR rights fan-out (the scaling layer);
 * :mod:`repro.ycsb`    -- the benchmark workloads the paper evaluates with;
 * :mod:`repro.bench`   -- one driver per table/figure in the evaluation;
 * :mod:`repro.device`, :mod:`repro.net`, :mod:`repro.crypto`,
@@ -24,6 +26,7 @@ Quickstart::
     record = store.get("user:alice:profile", purpose="billing")
 """
 
+from .cluster import ClusterClient, ShardedGDPRStore, build_cluster
 from .common.clock import SimClock, WallClock
 from .gdpr import (
     CONTROLLER,
@@ -48,6 +51,9 @@ __all__ = [
     "WallClock",
     "KeyValueStore",
     "StoreConfig",
+    "ClusterClient",
+    "ShardedGDPRStore",
+    "build_cluster",
     "GDPRStore",
     "GDPRConfig",
     "GDPRMetadata",

@@ -28,6 +28,7 @@ from .micro import (
     measure_channel_bandwidth,
 )
 from .reporting import render_table
+from .scaling import erasure_fanout, run_scaling, scaling_table
 from .table1 import build_comparison_text, headline_statistics
 
 
@@ -119,12 +120,31 @@ def run_ablations(args: argparse.Namespace) -> None:
                        [[k, round(v, 2)] for k, v in results.items()]))
 
 
+def run_scaling_cmd(args: argparse.Namespace) -> None:
+    _print_header("Scaling -- shards x pipeline depth, GDPR on/off")
+    shard_counts = (1, 2, 4, 8) if args.full else (1, 2, 4)
+    cells = run_scaling(shard_counts=shard_counts, depths=(1, 8),
+                        record_count=args.records,
+                        operation_count=args.ops)
+    print(scaling_table(cells))
+    print("\ncross-shard Art. 17 erasure fan-out:")
+    rows = erasure_fanout(shard_counts=shard_counts,
+                          subject_keys=max(20, args.records // 5))
+    print(render_table(
+        ["shards", "keys_erased", "shards_touched", "erase_ms",
+         "residual"],
+        [[int(r["shards"]), int(r["keys_erased"]),
+          int(r["shards_touched"]), round(r["erase_seconds"] * 1e3, 3),
+          bool(r["residual_in_aof"])] for r in rows]))
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "figure1": run_fig1,
     "figure2": run_fig2,
     "micro": run_micro,
     "ablations": run_ablations,
+    "scaling": run_scaling_cmd,
 }
 
 

@@ -1,0 +1,180 @@
+"""Scaling scenario: throughput vs shard count x pipeline depth, GDPR on/off.
+
+The paper's closing argument is that GDPR-compliant storage must be
+*engineered to scale*; this scenario quantifies the two levers the cluster
+layer adds:
+
+* **Pipelining** amortizes the per-round-trip channel latency over many
+  requests (depth-8 pays the wire once where depth-1 pays it eight times);
+* **Sharding** splits the per-command CPU and -- far more importantly for
+  the GDPR configuration -- the AOF logging cost across shards that run
+  concurrently, which is how a cluster claws back the paper's ~5x
+  compliance slowdown.
+
+``GDPR on`` shards run the paper's compliant configuration (AOF enabled
+with read logging at everysec, the calibrated record costs from
+:mod:`repro.bench.calibration`); ``off`` shards run unmodified.  The
+companion :func:`erasure_fanout` measures how cross-shard Art. 17 erasure
+(fan-out DELs + one shared-keystore crypto-erasure + per-shard AOF
+compaction) scales with shard count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cluster import ClusterClient, ShardedGDPRStore, build_cluster
+from ..common.clock import Clock
+from ..device.append_log import AppendLog
+from ..device.latency import INTEL_750_SSD
+from ..gdpr.metadata import GDPRMetadata
+from ..kvstore.store import KeyValueStore, StoreConfig
+from ..ycsb.distributions import ScrambledZipfianGenerator
+from ..ycsb.generator import build_key_name
+from .calibration import (
+    AOF_RECORD_BASE_COST,
+    AOF_RECORD_PER_BYTE,
+    BASE_COMMAND_CPU,
+    RAW_ONE_WAY_LATENCY,
+)
+from .reporting import render_table
+
+VALUE_SIZE = 100
+READ_FRACTION = 0.95   # YCSB-B's read-mostly mix
+
+
+@dataclass
+class ScalingCell:
+    """One (shards, depth, gdpr) point of the sweep."""
+
+    shards: int
+    depth: int
+    gdpr: bool
+    throughput: float       # ops per simulated second (run phase)
+    load_throughput: float  # inserts per simulated second (load phase)
+
+
+def _store_factory(gdpr: bool):
+    def make(index: int, clock: Clock) -> KeyValueStore:
+        if not gdpr:
+            return KeyValueStore(
+                StoreConfig(command_cpu_cost=BASE_COMMAND_CPU, seed=index),
+                clock=clock)
+        return KeyValueStore(
+            StoreConfig(command_cpu_cost=BASE_COMMAND_CPU,
+                        appendonly=True, appendfsync="everysec",
+                        aof_log_reads=True,
+                        aof_record_base_cost=AOF_RECORD_BASE_COST,
+                        aof_record_per_byte_cost=AOF_RECORD_PER_BYTE,
+                        seed=index),
+            clock=clock, aof_log=AppendLog(clock=clock,
+                                           latency=INTEL_750_SSD))
+    return make
+
+
+def _pipelined_phase(cluster: ClusterClient, requests: Sequence[tuple],
+                     depth: int) -> float:
+    """Issue ``requests`` in depth-sized pipelined batches; ops/s."""
+    start = cluster.clock.now()
+    for offset in range(0, len(requests), depth):
+        pipeline = cluster.pipeline()
+        for args in requests[offset:offset + depth]:
+            pipeline.call(*args)
+        pipeline.execute()
+    elapsed = cluster.clock.now() - start
+    return len(requests) / elapsed if elapsed > 0 else 0.0
+
+
+def run_cell(shards: int, depth: int, gdpr: bool,
+             record_count: int = 300, operation_count: int = 800,
+             seed: int = 42) -> ScalingCell:
+    """Load then run one configuration point.
+
+    The client models a pipelined closed-loop driver (redis-benchmark
+    ``-P``): it keeps ``depth`` requests in flight per round trip.
+    """
+    cluster = build_cluster(shards, store_factory=_store_factory(gdpr),
+                            latency=RAW_ONE_WAY_LATENCY)
+    rng = random.Random(seed)
+    value = bytes(rng.randrange(32, 127) for _ in range(VALUE_SIZE))
+    keys = [build_key_name(number) for number in range(record_count)]
+    load_tput = _pipelined_phase(
+        cluster, [("SET", key, value) for key in keys], depth)
+    chooser = ScrambledZipfianGenerator(0, record_count - 1,
+                                        rng=random.Random(seed + 1))
+    requests = []
+    for _ in range(operation_count):
+        key = keys[min(chooser.next_value(), record_count - 1)]
+        if rng.random() < READ_FRACTION:
+            requests.append(("GET", key))
+        else:
+            requests.append(("SET", key, value))
+    run_tput = _pipelined_phase(cluster, requests, depth)
+    return ScalingCell(shards=shards, depth=depth, gdpr=gdpr,
+                       throughput=run_tput, load_throughput=load_tput)
+
+
+def run_scaling(shard_counts: Sequence[int] = (1, 2, 4),
+                depths: Sequence[int] = (1, 8),
+                record_count: int = 300, operation_count: int = 800,
+                seed: int = 42) -> List[ScalingCell]:
+    """The full sweep: shard counts x pipeline depths x GDPR on/off."""
+    return [run_cell(shards, depth, gdpr, record_count, operation_count,
+                     seed=seed)
+            for gdpr in (False, True)
+            for shards in shard_counts
+            for depth in depths]
+
+
+def scaling_table(cells: Sequence[ScalingCell]) -> str:
+    """Render the sweep; speedup is vs the 1-shard depth-1 cell of the
+    same GDPR setting (the single-node, unpipelined baseline)."""
+    baselines: Dict[bool, float] = {}
+    for cell in cells:
+        if cell.shards == 1 and cell.depth == 1:
+            baselines[cell.gdpr] = cell.throughput
+    rows = []
+    for cell in cells:
+        base = baselines.get(cell.gdpr, 0.0)
+        rows.append([
+            cell.shards, cell.depth, "on" if cell.gdpr else "off",
+            round(cell.throughput, 1),
+            f"{cell.throughput / base:.2f}x" if base > 0 else "-",
+        ])
+    return render_table(["shards", "depth", "gdpr", "ops/s", "speedup"],
+                        rows)
+
+
+def erasure_fanout(shard_counts: Sequence[int] = (1, 2, 4),
+                   subject_keys: int = 60,
+                   seed: int = 7) -> List[Dict[str, float]]:
+    """Simulated cost of a cross-shard Art. 17 erasure per shard count.
+
+    One data subject's records spread over every shard; the erasure fans
+    out DELs and AOF compaction per shard while a single crypto-erasure
+    voids all shards at once.
+    """
+    rows = []
+    for shards in shard_counts:
+        # Shards run the same compliant configuration the throughput
+        # sweep's GDPR-on rows use.
+        store = ShardedGDPRStore(num_shards=shards,
+                                 kv_factory=_store_factory(gdpr=True))
+        rng = random.Random(seed)
+        for number in range(subject_keys):
+            owner = "alice" if number % 2 == 0 else f"other-{number % 7}"
+            store.put(f"user:{number}", bytes(rng.randrange(97, 123)
+                                              for _ in range(32)),
+                      GDPRMetadata(owner=owner,
+                                   purposes=frozenset({"service"})))
+        receipt = store.erase_subject("alice")
+        rows.append({
+            "shards": float(shards),
+            "keys_erased": float(len(receipt.keys_erased)),
+            "shards_touched": float(len(receipt.shards_touched)),
+            "erase_seconds": receipt.duration,
+            "residual_in_aof": float(receipt.residual_in_aof),
+        })
+    return rows

@@ -1,0 +1,37 @@
+"""Hash-slot sharded cluster layer: routing, pipelining, GDPR fan-out.
+
+The scaling seam the ROADMAP calls for: CRC16 -> 16384 hash slots ->
+N shards (:mod:`repro.cluster.slots`), a pipelining
+:class:`ClusterClient` over the simulated network
+(:mod:`repro.cluster.client`), and a :class:`ShardedGDPRStore` that fans
+subject rights and crypto-erasure out across shards
+(:mod:`repro.cluster.sharded_store`).
+"""
+
+from .client import (
+    BufferedTransport,
+    ClusterClient,
+    ClusterNode,
+    KEYLESS_COMMANDS,
+    MULTI_KEY_COMMANDS,
+    Pipeline,
+    build_cluster,
+)
+from .sharded_store import ShardedErasureReceipt, ShardedGDPRStore
+from .slots import NUM_SLOTS, SlotMap, hash_tag, slot_for_key
+
+__all__ = [
+    "NUM_SLOTS",
+    "SlotMap",
+    "hash_tag",
+    "slot_for_key",
+    "BufferedTransport",
+    "ClusterClient",
+    "ClusterNode",
+    "Pipeline",
+    "build_cluster",
+    "KEYLESS_COMMANDS",
+    "MULTI_KEY_COMMANDS",
+    "ShardedGDPRStore",
+    "ShardedErasureReceipt",
+]

@@ -1,0 +1,306 @@
+"""Cluster client: slot-routed commands and pipelined batches.
+
+A :class:`ClusterClient` fronts N single-node stores, each behind its own
+simulated channel and RESP server, and routes every command to the shard
+owning its key's hash slot.  Two things make it more than a router:
+
+* **Pipelining** -- :meth:`ClusterClient.pipeline` batches many requests
+  into *one* transmit per shard per round trip (and the server's replies
+  are coalesced the same way), so the simulated clock charges the channel
+  latency once per batch instead of once per request -- exactly the
+  economics that make ``redis-benchmark -P`` and real pipelined clients
+  fast.
+* **Shard parallelism** -- with per-shard clocks (the default built by
+  :func:`build_cluster`), a batch's elapsed time is the *maximum* over the
+  shards it touched, not the sum: shards are independent machines working
+  concurrently, as in a real shared-nothing cluster.  After every round
+  trip all clocks are re-synchronized to the cluster-wide time, so
+  per-shard background work (fsync, cron) stays coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.clock import Clock, SimClock
+from ..common.errors import ClusterError, CrossSlotError
+from ..common.resp import RespDecoder, RespError, encode_command
+from ..kvstore.commands import normalize_args
+from ..kvstore.server import RawTransport, StoreServer
+from ..kvstore.store import KeyValueStore, StoreConfig
+from ..net.channel import Channel, LAN_LATENCY, RAW_BANDWIDTH_BPS
+from .slots import SlotMap, slot_for_key
+
+# Commands with no key argument route to shard 0 unless the caller pins one.
+KEYLESS_COMMANDS = frozenset((
+    b"PING", b"INFO", b"CONFIG", b"SELECT", b"SLOWLOG",
+    b"BGREWRITEAOF", b"BGSAVE", b"SAVE", b"TIME",
+))
+
+# Keyspace-wide commands fan out to every shard, replies merged (flushes
+# must reach all shards, DBSIZE sums, KEYS concatenates).  Only valid via
+# ``call``; a pipelined broadcast would need one reply slot per shard.
+BROADCAST_COMMANDS = frozenset((
+    b"FLUSHALL", b"FLUSHDB", b"DBSIZE", b"KEYS",
+))
+
+# Commands whose cluster-wide semantics cannot be faked by routing their
+# first argument (SCAN cursors and RANDOMKEY are per-shard notions).
+UNROUTABLE_COMMANDS = frozenset((b"SCAN", b"RANDOMKEY"))
+
+# Multi-key commands and where their keys sit: (first, step); keys run to
+# the end of argv.  All keys must share a slot (Redis' CROSSSLOT rule).
+MULTI_KEY_COMMANDS: Dict[bytes, Tuple[int, int]] = {
+    b"DEL": (1, 1),
+    b"UNLINK": (1, 1),
+    b"EXISTS": (1, 1),
+    b"MGET": (1, 1),
+    b"MSET": (1, 2),
+    b"RENAME": (1, 1),
+}
+
+
+class BufferedTransport:
+    """Coalesces sends into one channel transmit per :meth:`flush`.
+
+    The server writes one reply per request; wrapping its transport in
+    this buffer turns a pipelined batch's replies into a single message,
+    the same coalescing TCP gives a real pipelined connection.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self._buffer: List[bytes] = []
+
+    def send(self, data: bytes) -> None:
+        self._buffer.append(data)
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._inner.send(b"".join(self._buffer))
+            self._buffer.clear()
+
+    def recv_available(self) -> bytes:
+        return self._inner.recv_available()
+
+
+class ClusterNode:
+    """One shard: a store behind its own channel and RESP server."""
+
+    def __init__(self, index: int, store: KeyValueStore,
+                 channel: Channel) -> None:
+        self.index = index
+        self.store = store
+        self.clock = store.clock
+        self.channel = channel
+        client_end, server_end = channel.endpoints()
+        self.server = StoreServer(store)
+        self.server_out = BufferedTransport(RawTransport(server_end))
+        self.server.accept(self.server_out)
+        self._client_transport = RawTransport(client_end)
+        self._decoder = RespDecoder()
+
+    def execute_batch(self, batch: Sequence[List[bytes]]) -> List[Any]:
+        """One round trip: all requests in one transmit, all replies in
+        one transmit, replies returned in request order."""
+        payload = b"".join(encode_command(*argv) for argv in batch)
+        self._client_transport.send(payload)
+        self.server.pump()
+        self.server_out.flush()
+        self._decoder.feed(self._client_transport.recv_available())
+        replies = []
+        for _ in batch:
+            found, value = self._decoder.next_value()
+            if not found:
+                raise RespError("ERR no reply received")
+            replies.append(value)
+        return replies
+
+
+class Pipeline:
+    """Queued requests executed in one round trip per shard."""
+
+    def __init__(self, client: "ClusterClient") -> None:
+        self._client = client
+        self._requests: List[Tuple[int, List[bytes]]] = []
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def call(self, *args: Any, shard: Optional[int] = None) -> "Pipeline":
+        argv = normalize_args(args)
+        if not argv:
+            raise ValueError("empty command")
+        target = shard if shard is not None \
+            else self._client.route(argv)
+        self._requests.append((target, argv))
+        return self
+
+    def execute(self, raise_errors: bool = True) -> List[Any]:
+        replies = self._client.execute_routed(self._requests)
+        self._requests = []
+        if raise_errors:
+            for reply in replies:
+                if isinstance(reply, RespError):
+                    raise reply
+        return replies
+
+
+class ClusterClient:
+    """Routes commands across shards; one simulated client's view."""
+
+    def __init__(self, nodes: Sequence[ClusterNode],
+                 slot_map: Optional[SlotMap] = None,
+                 clock: Optional[Clock] = None) -> None:
+        if not nodes:
+            raise ClusterError("a cluster needs at least one shard")
+        self.nodes = list(nodes)
+        self.slots = slot_map if slot_map is not None \
+            else SlotMap.even(len(self.nodes))
+        if self.slots.num_shards > len(self.nodes):
+            raise ClusterError(
+                f"slot map references shard "
+                f"{self.slots.num_shards - 1} but only "
+                f"{len(self.nodes)} nodes exist")
+        self.clock = clock if clock is not None else SimClock()
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_for(self, key) -> int:
+        return self.slots.shard_for_key(key)
+
+    def route(self, argv: List[bytes]) -> int:
+        """The shard an argv executes on (CROSSSLOT-checked)."""
+        name = argv[0].upper()
+        decoded = name.decode("ascii", "replace")
+        if name in UNROUTABLE_COMMANDS:
+            raise ClusterError(
+                f"{decoded} has no cluster-wide meaning; pin a shard "
+                "with call(..., shard=)")
+        if name in BROADCAST_COMMANDS:
+            raise ClusterError(
+                f"{decoded} fans out to every shard; issue it via "
+                "call(), not a pipeline, or pin a shard")
+        if name in KEYLESS_COMMANDS or len(argv) < 2:
+            return 0
+        positions = MULTI_KEY_COMMANDS.get(name)
+        if positions is None:
+            return self.slots.shard_for_key(argv[1])
+        first, step = positions
+        slots = {slot_for_key(key) for key in argv[first::step]}
+        if len(slots) > 1:
+            raise CrossSlotError(
+                "CROSSSLOT Keys in request don't hash to the same slot")
+        return self.slots.shard_of_slot(slots.pop())
+
+    # -- execution ---------------------------------------------------------
+
+    def call(self, *args: Any, raise_errors: bool = True,
+             shard: Optional[int] = None) -> Any:
+        """One command, one full round trip to its shard (or, for
+        keyspace-wide commands, one concurrent round trip to every
+        shard with the replies merged)."""
+        argv = normalize_args(args)
+        if not argv:
+            raise ValueError("empty command")
+        if shard is None and argv[0].upper() in BROADCAST_COMMANDS:
+            return self._broadcast(argv, raise_errors)
+        target = shard if shard is not None else self.route(argv)
+        [reply] = self.execute_routed([(target, argv)])
+        if raise_errors and isinstance(reply, RespError):
+            raise reply
+        return reply
+
+    def _broadcast(self, argv: List[bytes], raise_errors: bool) -> Any:
+        replies = self.execute_routed(
+            [(shard, argv) for shard in range(len(self.nodes))])
+        for reply in replies:
+            if isinstance(reply, RespError):
+                if raise_errors:
+                    raise reply
+                return reply
+        name = argv[0].upper()
+        if name == b"DBSIZE":
+            return sum(replies)
+        if name == b"KEYS":
+            return [key for reply in replies for key in reply]
+        return replies[0]  # FLUSHALL / FLUSHDB: every shard said OK
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(self)
+
+    def execute_routed(self, requests: Sequence[Tuple[int, List[bytes]]]
+                       ) -> List[Any]:
+        """Execute pre-routed (shard, argv) requests; replies come back in
+        request order.  Shards touched by the batch run concurrently: the
+        batch costs the slowest shard's time, not the shards' sum."""
+        per_shard: Dict[int, List[Tuple[int, List[bytes]]]] = {}
+        for position, (shard, argv) in enumerate(requests):
+            if not 0 <= shard < len(self.nodes):
+                raise ClusterError(f"unknown shard {shard}")
+            per_shard.setdefault(shard, []).append((position, argv))
+        start = self.clock.now()
+        finish = start
+        replies: List[Any] = [None] * len(requests)
+        for shard, batch in per_shard.items():
+            node = self.nodes[shard]
+            node.clock.sleep_until(start)
+            node.store.tick()
+            for position, reply in zip(
+                    (p for p, _ in batch),
+                    node.execute_batch([argv for _, argv in batch])):
+                replies[position] = reply
+            finish = max(finish, node.clock.now())
+        self.clock.sleep_until(finish)
+        return replies
+
+    def sync(self) -> float:
+        """Bring every shard clock up to cluster time (idle shards pass
+        simulated time too); returns the synchronized time."""
+        now = max([self.clock.now()]
+                  + [node.clock.now() for node in self.nodes])
+        self.clock.sleep_until(now)
+        for node in self.nodes:
+            node.clock.sleep_until(now)
+            node.store.tick()
+        return now
+
+    # -- introspection -----------------------------------------------------
+
+    def keyspace_sizes(self) -> List[int]:
+        return [len(node.store.databases[0]) for node in self.nodes]
+
+
+StoreFactory = Callable[[int, Clock], KeyValueStore]
+
+
+def build_cluster(num_shards: int,
+                  store_factory: Optional[StoreFactory] = None,
+                  clock: Optional[Clock] = None,
+                  parallel: bool = True,
+                  bandwidth_bps: float = RAW_BANDWIDTH_BPS,
+                  latency: float = LAN_LATENCY,
+                  slot_map: Optional[SlotMap] = None) -> ClusterClient:
+    """Wire up a ready-to-use cluster.
+
+    ``parallel=True`` (the default) gives each shard its own clock so
+    batches cost max-over-shards time; ``parallel=False`` shares one clock
+    across every shard -- fully serialized, useful for tests that want a
+    single timeline.
+    """
+    master = clock if clock is not None else SimClock()
+    if store_factory is None:
+        def store_factory(index: int, node_clock: Clock) -> KeyValueStore:
+            return KeyValueStore(StoreConfig(), clock=node_clock)
+    nodes = []
+    for index in range(num_shards):
+        node_clock: Clock = SimClock(master.now()) if parallel else master
+        channel = Channel(clock=node_clock, bandwidth_bps=bandwidth_bps,
+                          latency=latency)
+        store = store_factory(index, node_clock)
+        if store.clock is not node_clock:
+            raise ClusterError(
+                "store_factory must build the store on the clock it is "
+                "given (shard time and channel time must agree)")
+        nodes.append(ClusterNode(index, store, channel))
+    return ClusterClient(nodes, slot_map=slot_map, clock=master)

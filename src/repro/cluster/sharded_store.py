@@ -1,0 +1,276 @@
+"""Cross-shard GDPR compliance: subject rights fanned out over shards.
+
+A :class:`ShardedGDPRStore` partitions the keyspace over N independent
+:class:`~repro.gdpr.store.GDPRStore` shards by hash slot.  Each shard keeps
+its *own* hash-chained audit log and its own AOF -- compliance evidence
+stays local to the shard that served the interaction, as it would across
+real machines -- while one shared :class:`~repro.crypto.keystore.KeyStore`
+holds the per-subject data keys, so a single crypto-erasure voids a
+subject's ciphertexts on **every** shard at once (Art. 17's "including all
+its replicas and backups", extended across the cluster).
+
+Subject-rights operations (Art. 15 access, Art. 17 erasure, Art. 20
+portability, Art. 21 objection) fan out to the shards holding the
+subject's records and merge the per-shard results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..common.clock import Clock, SimClock
+from ..common.errors import ClusterError, UnknownSubjectError
+from ..crypto.keystore import KeyStore
+from ..gdpr.access_control import Principal
+from ..gdpr.metadata import GDPRMetadata, Record
+from ..gdpr.rights import (
+    AccessReport,
+    ErasureReceipt,
+    portability_rows,
+    render_portability,
+    right_of_access,
+    right_to_erasure,
+    right_to_object,
+)
+from ..gdpr.store import CONTROLLER, GDPRConfig, GDPRStore
+from ..kvstore.store import KeyValueStore, StoreConfig
+from .slots import SlotMap
+
+GDPRConfigFactory = Callable[[int], GDPRConfig]
+KVFactory = Callable[[int, Clock], KeyValueStore]
+
+
+@dataclass(frozen=True)
+class ShardedErasureReceipt:
+    """Art. 17 across the cluster: the union of per-shard receipts."""
+
+    subject: str
+    requested_at: float
+    completed_at: float
+    keys_erased: List[str]
+    shards_touched: List[int]
+    crypto_erased: bool
+    residual_in_aof: bool
+    per_shard: Dict[int, ErasureReceipt]
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.requested_at
+
+
+class ShardedGDPRStore:
+    """N GDPR-compliant shards behind one hash-slot router."""
+
+    def __init__(self, num_shards: int = 4,
+                 clock: Optional[Clock] = None,
+                 keystore: Optional[KeyStore] = None,
+                 slot_map: Optional[SlotMap] = None,
+                 config_factory: Optional[GDPRConfigFactory] = None,
+                 kv_factory: Optional[KVFactory] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.keystore = keystore if keystore is not None else KeyStore()
+        self.slots = slot_map if slot_map is not None \
+            else SlotMap.even(num_shards)
+        if self.slots.num_shards > num_shards:
+            raise ClusterError(
+                f"slot map references shard {self.slots.num_shards - 1} "
+                f"but only {num_shards} shards exist")
+        if config_factory is None:
+            def config_factory(index: int) -> GDPRConfig:
+                return GDPRConfig(node_id=f"shard-{index}")
+        if kv_factory is None:
+            def kv_factory(index: int, kv_clock: Clock) -> KeyValueStore:
+                return KeyValueStore(
+                    StoreConfig(appendonly=True, aof_log_reads=True),
+                    clock=kv_clock)
+        self._config_factory = config_factory
+        self._kv_factory = kv_factory
+        self.shards: List[GDPRStore] = [
+            GDPRStore(kv=kv_factory(index, self.clock),
+                      config=config_factory(index),
+                      keystore=self.keystore)
+            for index in range(num_shards)]
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, key: str) -> int:
+        return self.slots.shard_for_key(key)
+
+    def shard_of(self, key: str) -> GDPRStore:
+        return self.shards[self.shard_for(key)]
+
+    def shards_of_subject(self, subject: str) -> List[int]:
+        """Shard indexes currently holding records of ``subject``."""
+        return [index for index, shard in enumerate(self.shards)
+                if shard.subject_exists(subject)]
+
+    def _require_subject(self, subject: str) -> List[int]:
+        holders = self.shards_of_subject(subject)
+        if not holders:
+            raise UnknownSubjectError(
+                f"no records for data subject {subject!r} on any shard")
+        return holders
+
+    # -- data path (slot-routed) -------------------------------------------
+
+    def put(self, key: str, value: bytes, metadata: GDPRMetadata,
+            principal: Principal = CONTROLLER,
+            purpose: Optional[str] = None) -> None:
+        self.shard_of(key).put(key, value, metadata,
+                               principal=principal, purpose=purpose)
+
+    def get(self, key: str, principal: Principal = CONTROLLER,
+            purpose: Optional[str] = None) -> Record:
+        return self.shard_of(key).get(key, principal=principal,
+                                      purpose=purpose)
+
+    def delete(self, key: str, principal: Principal = CONTROLLER) -> bool:
+        return self.shard_of(key).delete(key, principal=principal)
+
+    def keys_of_subject(self, subject: str) -> List[str]:
+        keys: List[str] = []
+        for shard in self.shards:
+            keys.extend(shard.keys_of_subject(subject))
+        return sorted(keys)
+
+    def subject_exists(self, subject: str) -> bool:
+        return any(shard.subject_exists(subject) for shard in self.shards)
+
+    def process_for_purpose(self, purpose: str,
+                            principal: Principal = CONTROLLER
+                            ) -> List[Record]:
+        records: List[Record] = []
+        for shard in self.shards:
+            records.extend(shard.process_for_purpose(purpose,
+                                                     principal=principal))
+        return records
+
+    # -- subject rights, fanned out ----------------------------------------
+
+    def access_report(self, subject: str,
+                      principal: Optional[Principal] = None
+                      ) -> AccessReport:
+        """Art. 15 across shards: the union of every shard's holdings."""
+        holders = self._require_subject(subject)
+        started = self.clock.now()
+        merged = AccessReport(subject=subject, generated_at=started)
+        purposes: set = set()
+        recipients: set = set()
+        for index in holders:
+            report = right_of_access(self.shards[index], subject,
+                                     principal=principal)
+            merged.records.extend(report.records)
+            merged.automated_decision_keys.extend(
+                report.automated_decision_keys)
+            purposes.update(report.purposes)
+            recipients.update(report.recipients)
+        merged.records.sort(key=lambda entry: entry["key"])
+        merged.automated_decision_keys.sort()
+        merged.purposes = sorted(purposes)
+        merged.recipients = sorted(recipients)
+        merged.elapsed = self.clock.now() - started
+        return merged
+
+    def erase_subject(self, subject: str,
+                      principal: Optional[Principal] = None,
+                      compact_log: Optional[bool] = None
+                      ) -> ShardedErasureReceipt:
+        """Art. 17 across shards: per-shard keyspace DELs and AOF
+        compaction, plus one crypto-erasure through the shared keystore
+        that voids the subject's ciphertexts on every shard."""
+        holders = self._require_subject(subject)
+        requested_at = self.clock.now()
+        receipts: Dict[int, ErasureReceipt] = {}
+        for index in holders:
+            receipts[index] = right_to_erasure(
+                self.shards[index], subject, principal=principal,
+                compact_log=compact_log)
+        keys = sorted(key for receipt in receipts.values()
+                      for key in receipt.keys_erased)
+        return ShardedErasureReceipt(
+            subject=subject, requested_at=requested_at,
+            completed_at=self.clock.now(), keys_erased=keys,
+            shards_touched=holders,
+            crypto_erased=any(r.crypto_erased for r in receipts.values()),
+            residual_in_aof=any(r.residual_in_aof
+                                for r in receipts.values()),
+            per_shard=receipts)
+
+    def export_subject(self, subject: str, fmt: str = "json",
+                       principal: Optional[Principal] = None) -> bytes:
+        """Art. 20 across shards: one portable document, all shards."""
+        holders = self._require_subject(subject)
+        rows: List[dict] = []
+        for index in holders:
+            rows.extend(portability_rows(self.shards[index], subject,
+                                         fmt=fmt, principal=principal))
+        rows.sort(key=lambda row: row["key"])
+        return render_portability(subject, rows, fmt)
+
+    def object_to_purpose(self, subject: str, purpose: str,
+                          principal: Optional[Principal] = None) -> int:
+        """Art. 21 across shards; returns records updated."""
+        holders = self._require_subject(subject)
+        return sum(right_to_object(self.shards[index], subject, purpose,
+                                   principal=principal)
+                   for index in holders)
+
+    # -- maintenance & evidence --------------------------------------------
+
+    def tick(self) -> None:
+        for shard in self.shards:
+            shard.tick()
+
+    def verify_audit_chains(self) -> Dict[int, int]:
+        """Verify every shard's hash chain; {shard: records verified}.
+        Raises :class:`~repro.common.errors.AuditError` on any break."""
+        return {index: shard.audit.verify_chain(shard.audit.records())
+                for index, shard in enumerate(self.shards)}
+
+    def erasure_report(self) -> Dict[str, float]:
+        """Cluster-wide roll-up of the per-shard erasure timeliness."""
+        reports = [shard.erasure_report() for shard in self.shards]
+        merged = {
+            "events": sum(r["events"] for r in reports),
+            "with_deadline": sum(r["with_deadline"] for r in reports),
+            "max_lateness": max(r["max_lateness"] for r in reports),
+            "sla_breaches": sum(r["sla_breaches"] for r in reports),
+        }
+        weighted = sum(r["mean_lateness"] * r["with_deadline"]
+                       for r in reports)
+        merged["mean_lateness"] = (weighted / merged["with_deadline"]
+                                   if merged["with_deadline"] else 0.0)
+        return merged
+
+    def recover_shard(self, index: int,
+                      aof_bytes: Optional[bytes] = None) -> int:
+        """Rebuild one crashed shard from its durable AOF.
+
+        Replays the shard's surviving AOF into a fresh store, re-derives
+        the GDPR indexes from decryptable envelopes (crypto-erased records
+        stay unreachable), and swaps the shard in.  Other shards are not
+        touched.  Returns the number of commands replayed.
+        """
+        old = self.shards[index]
+        if aof_bytes is None:
+            if old.kv.aof_log is None:
+                raise ValueError(f"shard {index} has no AOF to recover")
+            aof_bytes = old.kv.aof_log.read_all()
+        # Rebuild through the same factory that made the shard, so the
+        # replacement keeps its configuration and device-latency model.
+        kv = self._kv_factory(index, self.clock)
+        replayed = kv.replay_aof(aof_bytes)
+        if kv.aof_log is not None:
+            # Seed the replacement AOF with the recovered state so the
+            # shard is immediately durable again.
+            kv.rewrite_aof()
+        shard = GDPRStore(kv=kv, config=self._config_factory(index),
+                          keystore=self.keystore)
+        shard.rebuild_indexes()
+        self.shards[index] = shard
+        return replayed

@@ -1,0 +1,127 @@
+"""Hash-slot routing: CRC16(key) mod 16384 slots, slots owned by shards.
+
+This is Redis Cluster's data-distribution model.  Every key hashes to
+exactly one of :data:`NUM_SLOTS` slots (honoring ``{hash tag}`` notation,
+so callers can force related keys onto one shard), and a :class:`SlotMap`
+records which shard owns each slot.  Ownership changes *only* through
+explicit resharding calls -- adding a shard assigns it no slots until a
+reshard moves some -- which is what lets a cluster grow without silently
+rerouting live keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..common.errors import ClusterError
+from ..common.hashing import crc16_xmodem
+
+NUM_SLOTS = 16384
+
+KeyLike = Union[str, bytes]
+
+
+def _key_bytes(key: KeyLike) -> bytes:
+    return key.encode("utf-8") if isinstance(key, str) else bytes(key)
+
+
+def hash_tag(key: KeyLike) -> bytes:
+    """The byte span actually hashed: the first non-empty ``{...}`` group
+    if present, else the whole key (Redis Cluster's hash-tag rule)."""
+    raw = _key_bytes(key)
+    start = raw.find(b"{")
+    if start == -1:
+        return raw
+    end = raw.find(b"}", start + 1)
+    if end == -1 or end == start + 1:
+        return raw
+    return raw[start + 1:end]
+
+
+def slot_for_key(key: KeyLike) -> int:
+    """Map a key to its hash slot in [0, NUM_SLOTS)."""
+    return crc16_xmodem(hash_tag(key)) % NUM_SLOTS
+
+
+class SlotMap:
+    """Slot -> shard ownership table with explicit resharding.
+
+    The default layout (:meth:`even`) gives shard ``j`` of ``n`` the
+    contiguous range ``[j * NUM_SLOTS // n, (j + 1) * NUM_SLOTS // n)``,
+    exactly how ``redis-cli --cluster create`` splits a fresh cluster.
+    """
+
+    def __init__(self, assignment: Sequence[int]) -> None:
+        if len(assignment) != NUM_SLOTS:
+            raise ClusterError(
+                f"slot map must cover all {NUM_SLOTS} slots, "
+                f"got {len(assignment)}")
+        shards = set(assignment)
+        if not shards or min(shards) < 0:
+            raise ClusterError("slot map references negative shard ids")
+        self._assignment: List[int] = list(assignment)
+        self._num_shards = max(shards) + 1
+
+    @classmethod
+    def even(cls, num_shards: int) -> "SlotMap":
+        """Contiguous even split across ``num_shards`` shards."""
+        if num_shards <= 0:
+            raise ClusterError("a cluster needs at least one shard")
+        assignment = [0] * NUM_SLOTS
+        for shard in range(num_shards):
+            start = shard * NUM_SLOTS // num_shards
+            end = (shard + 1) * NUM_SLOTS // num_shards
+            for slot in range(start, end):
+                assignment[slot] = shard
+        return cls(assignment)
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the map knows about (some may own no slots)."""
+        return self._num_shards
+
+    def shard_of_slot(self, slot: int) -> int:
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        return self._assignment[slot]
+
+    def shard_for_key(self, key: KeyLike) -> int:
+        return self._assignment[slot_for_key(key)]
+
+    def slots_of_shard(self, shard: int) -> List[int]:
+        return [slot for slot, owner in enumerate(self._assignment)
+                if owner == shard]
+
+    def slot_counts(self) -> Dict[int, int]:
+        counts = {shard: 0 for shard in range(self._num_shards)}
+        for owner in self._assignment:
+            counts[owner] += 1
+        return counts
+
+    # -- topology changes (always explicit) --------------------------------
+
+    def add_shard(self) -> int:
+        """Register a new, empty shard; routing is unchanged until slots
+        are explicitly moved to it.  Returns the new shard id."""
+        self._num_shards += 1
+        return self._num_shards - 1
+
+    def assign(self, slots: Iterable[int], shard: int) -> int:
+        """Explicit resharding: move ``slots`` to ``shard``.  Returns how
+        many slots actually changed owner."""
+        if not 0 <= shard < self._num_shards:
+            raise ClusterError(f"unknown shard {shard}")
+        moved = 0
+        for slot in slots:
+            if not 0 <= slot < NUM_SLOTS:
+                raise ClusterError(f"slot {slot} out of range")
+            if self._assignment[slot] != shard:
+                self._assignment[slot] = shard
+                moved += 1
+        return moved
+
+    def assign_range(self, start: int, end: int, shard: int) -> int:
+        """Move the slot range [start, end) to ``shard``."""
+        return self.assign(range(start, end), shard)

@@ -119,6 +119,23 @@ class PersistenceError(StoreError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster layer
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(StoreError):
+    """Base class for hash-slot cluster errors."""
+
+
+class CrossSlotError(ClusterError):
+    """A multi-key command referenced keys in different hash slots.
+
+    Mirrors Redis Cluster's ``CROSSSLOT`` error; callers colocate related
+    keys with ``{hash tag}`` notation.
+    """
+
+
+# ---------------------------------------------------------------------------
 # GDPR layer
 # ---------------------------------------------------------------------------
 

@@ -149,10 +149,13 @@ def right_to_erasure(store: GDPRStore, subject: str,
         residual_in_aof=residual)
 
 
-def right_to_portability(store: GDPRStore, subject: str,
-                         fmt: str = "json",
-                         principal: Optional[Principal] = None) -> bytes:
-    """Art. 20: export all the subject's data in a commonly used format."""
+def portability_rows(store: GDPRStore, subject: str, fmt: str = "json",
+                     principal: Optional[Principal] = None) -> List[dict]:
+    """Collect (and audit) one store's Art. 20 export rows.
+
+    Shared by single-store portability and the cluster layer's
+    cross-shard export, which merges rows from every shard.
+    """
     if principal is None:
         principal = Principal.subject(subject)
     store.require_subject(subject)
@@ -168,6 +171,12 @@ def right_to_portability(store: GDPRStore, subject: str,
     store.audit.append(principal=principal.name, operation="export",
                        subject=store._audit_name(subject), outcome="ok",
                        detail=f"{len(rows)} records as {fmt}")
+    return rows
+
+
+def render_portability(subject: str, rows: List[dict],
+                       fmt: str = "json") -> bytes:
+    """Serialize export rows into the commonly used format."""
     if fmt == "json":
         return json.dumps({"subject": subject, "records": rows},
                           sort_keys=True, indent=2).encode("utf-8")
@@ -180,6 +189,14 @@ def right_to_portability(store: GDPRStore, subject: str,
             writer.writerow({**row, "purposes": ";".join(row["purposes"])})
         return buffer.getvalue().encode("utf-8")
     raise ValueError(f"unsupported export format {fmt!r}")
+
+
+def right_to_portability(store: GDPRStore, subject: str,
+                         fmt: str = "json",
+                         principal: Optional[Principal] = None) -> bytes:
+    """Art. 20: export all the subject's data in a commonly used format."""
+    rows = portability_rows(store, subject, fmt=fmt, principal=principal)
+    return render_portability(subject, rows, fmt)
 
 
 def right_to_object(store: GDPRStore, subject: str, purpose: str,

@@ -74,9 +74,15 @@ class StoreServer:
         return conn
 
     def pump(self) -> int:
-        """Process every complete pending request; returns requests served."""
+        """Process every complete pending request; returns requests served.
+
+        Iterates over a snapshot of the connection list: a handler or
+        MONITOR feed that accepts or drops a connection mid-pump must not
+        mutate the sequence being iterated (a connection accepted during a
+        pump is served from the next pump on).
+        """
         served = 0
-        for conn in self.connections:
+        for conn in list(self.connections):
             conn.decoder.feed(conn.transport.recv_available())
             while True:
                 found, value = conn.decoder.next_value()

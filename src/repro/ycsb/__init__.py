@@ -2,6 +2,7 @@
 
 from .adapters import (
     ClientAdapter,
+    ClusterAdapter,
     GDPRAdapter,
     KVAdapter,
     StorageAdapter,
@@ -35,6 +36,7 @@ __all__ = [
     "StorageAdapter",
     "KVAdapter",
     "ClientAdapter",
+    "ClusterAdapter",
     "GDPRAdapter",
     "pack_fields",
     "unpack_fields",

@@ -27,6 +27,10 @@ INDEX_KEY = "_ycsb_index"
 class StorageAdapter:
     """Interface: the five YCSB operations."""
 
+    def flush(self) -> None:
+        """Drain any buffered operations (no-op for unbuffered
+        adapters); the runner calls this at the end of every phase."""
+
     def insert(self, key: str, values: Dict[str, bytes]) -> None:
         raise NotImplementedError
 
@@ -148,6 +152,67 @@ class ClientAdapter(StorageAdapter):
         self.client.call("DEL", key)
         if self.maintain_scan_index:
             self.client.call("ZREM", INDEX_KEY, key)
+
+
+class ClusterAdapter(StorageAdapter):
+    """YCSB binding over a sharded :class:`ClusterClient`.
+
+    Records are hashes, as in :class:`KVAdapter`.  Scans are unsupported:
+    the scan index is a single cross-slot sorted set, which a hash-slot
+    cluster cannot host (the YCSB Redis Cluster binding has the same
+    limitation).  With ``pipeline_depth > 1`` mutations are batched into
+    pipelined round trips; reads flush pending mutations first, so
+    read-your-writes always holds.
+    """
+
+    def __init__(self, cluster, pipeline_depth: int = 1) -> None:
+        self.cluster = cluster
+        self.pipeline_depth = max(1, pipeline_depth)
+        self._pending = None
+
+    def _queue(self, *args) -> None:
+        if self.pipeline_depth <= 1:
+            self.cluster.call(*args)
+            return
+        if self._pending is None:
+            self._pending = self.cluster.pipeline()
+        self._pending.call(*args)
+        if len(self._pending) >= self.pipeline_depth:
+            self.flush()
+
+    def flush(self) -> None:
+        """Execute any buffered mutations in one pipelined round trip."""
+        if self._pending is not None and len(self._pending):
+            pending, self._pending = self._pending, None
+            pending.execute()
+
+    def insert(self, key: str, values: Dict[str, bytes]) -> None:
+        args: List = ["HSET", key]
+        for name, payload in values.items():
+            args.append(name)
+            args.append(payload)
+        self._queue(*args)
+
+    # Updates are the same HSET write (no scan index to maintain here).
+    update = insert
+
+    def read(self, key: str,
+             fields: Optional[List[str]] = None) -> Dict[str, bytes]:
+        self.flush()
+        if fields:
+            flat = self.cluster.call("HMGET", key, *fields)
+            return {name: payload for name, payload in zip(fields, flat)
+                    if payload is not None}
+        return _pairs_to_dict(self.cluster.call("HGETALL", key))
+
+    def scan(self, start_key: str,
+             count: int) -> List[Dict[str, bytes]]:
+        raise NotImplementedError(
+            "scan needs a cross-slot index; run scan workloads against a "
+            "single-node adapter")
+
+    def delete(self, key: str) -> None:
+        self._queue("DEL", key)
 
 
 # -- GDPR binding ---------------------------------------------------------------------

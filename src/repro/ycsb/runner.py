@@ -110,6 +110,7 @@ class WorkloadRunner:
             self.adapter.insert(build_key_name(keynum),
                                 self.fields.build_values())
             hist.record(self.clock.now() - began)
+        self.adapter.flush()
         return RunReport(
             phase=f"Load-{self.spec.name}",
             operations=self.spec.record_count,
@@ -134,6 +135,7 @@ class WorkloadRunner:
                 failures += 1
             histograms.setdefault(op, LatencyHistogram()).record(
                 self.clock.now() - began)
+        self.adapter.flush()
         return RunReport(
             phase=self.spec.name, operations=total,
             sim_elapsed=self.clock.now() - sim_start,

@@ -24,10 +24,24 @@ class TestCli:
         assert "total_keys" in out
         assert "paper_lazy_s" in out
 
+    def test_scaling_small(self, capsys):
+        assert main(["scaling", "--records", "40", "--ops", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "depth" in out
+        assert "erasure fan-out" in out
+
+    def test_scaling_depth8_beats_depth1(self, capsys):
+        from repro.bench.scaling import run_scaling
+        cells = run_scaling(shard_counts=(2,), depths=(1, 8),
+                            record_count=60, operation_count=150)
+        by_depth = {(c.gdpr, c.depth): c.throughput for c in cells}
+        for gdpr in (False, True):
+            assert by_depth[(gdpr, 8)] > by_depth[(gdpr, 1)]
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["warpdrive"])
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
-                                    "micro", "ablations"}
+                                    "micro", "ablations", "scaling"}

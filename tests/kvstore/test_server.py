@@ -3,8 +3,14 @@
 import pytest
 
 from repro.common.clock import SimClock
-from repro.common.resp import RespError, SimpleString
-from repro.kvstore import KeyValueStore, StoreConfig, connect_plain, connect_tls
+from repro.common.resp import RespError, SimpleString, encode_command
+from repro.kvstore import (
+    KeyValueStore,
+    StoreConfig,
+    StoreServer,
+    connect_plain,
+    connect_tls,
+)
 from repro.net.channel import loopback
 from repro.net.tls import stunnel_channel
 
@@ -126,3 +132,70 @@ class TestMonitorOverServer:
         worker.call("SET", "a", "1")
         worker.call("GET", "a")
         assert store.monitor.records_streamed == 2
+
+
+class QueueTransport:
+    """In-memory transport with optional side effects on recv.
+
+    ``on_recv`` models a listener or handler that accepts/drops
+    connections while the server is mid-pump -- the connection churn the
+    pump loop must tolerate.
+    """
+
+    def __init__(self, pending=b"", on_recv=None):
+        self.pending = pending
+        self.on_recv = on_recv
+        self.sent = []
+
+    def send(self, data):
+        self.sent.append(data)
+
+    def recv_available(self):
+        if self.on_recv is not None:
+            callback, self.on_recv = self.on_recv, None
+            callback()
+        data, self.pending = self.pending, b""
+        return data
+
+
+class TestPumpConnectionChurn:
+    """Regression: pump must iterate a snapshot of the connection list."""
+
+    def test_connection_accepted_mid_pump_served_next_round(self, clock):
+        server = StoreServer(KeyValueStore(StoreConfig(), clock=clock))
+        late = QueueTransport(pending=encode_command(b"SET", b"late",
+                                                     b"v"))
+
+        def accept_late():
+            server.accept(late)
+
+        early = QueueTransport(pending=encode_command(b"PING"),
+                               on_recv=accept_late)
+        server.accept(early)
+        # The accept happens while pump iterates; the new connection must
+        # not be pumped in the same round (unsnapshotted iteration would
+        # serve it immediately).
+        assert server.pump() == 1
+        assert server.store.execute("GET", "late") is None
+        assert server.pump() == 1
+        assert server.store.execute("GET", "late") == b"v"
+
+    def test_connection_dropped_mid_pump_does_not_skip_others(self, clock):
+        server = StoreServer(KeyValueStore(StoreConfig(), clock=clock))
+
+        def drop_first():
+            server.connections.remove(first_conn)
+
+        first = QueueTransport(pending=encode_command(b"SET", b"a", b"1"),
+                               on_recv=drop_first)
+        second = QueueTransport(pending=encode_command(b"SET", b"b",
+                                                       b"2"))
+        third = QueueTransport(pending=encode_command(b"SET", b"c", b"3"))
+        first_conn = server.accept(first)
+        server.accept(second)
+        server.accept(third)
+        # Dropping an earlier connection mid-iteration shifts the list;
+        # without the snapshot the next connection is skipped entirely.
+        assert server.pump() == 3
+        assert server.store.execute("GET", "b") == b"2"
+        assert server.store.execute("GET", "c") == b"3"
