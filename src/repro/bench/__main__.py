@@ -28,7 +28,13 @@ from .micro import (
     measure_channel_bandwidth,
 )
 from .reporting import render_table
-from .scaling import erasure_fanout, run_scaling, scaling_table
+from .scaling import (
+    erasure_fanout,
+    resharding_table,
+    run_resharding_sweep,
+    run_scaling,
+    scaling_table,
+)
 from .table1 import build_comparison_text, headline_statistics
 
 
@@ -138,6 +144,16 @@ def run_scaling_cmd(args: argparse.Namespace) -> None:
           bool(r["residual_in_aof"])] for r in rows]))
 
 
+def run_resharding_cmd(args: argparse.Namespace) -> None:
+    _print_header("Resharding -- live slot migration under load")
+    results = run_resharding_sweep(record_count=args.records,
+                                   operation_count=args.ops)
+    print(resharding_table(results))
+    print("\n'drag' = fraction of steady-state throughput kept while "
+          "slots migrate;\n'moved'/'ask' = redirects the client followed "
+          "to track the topology.")
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "figure1": run_fig1,
@@ -145,6 +161,7 @@ EXPERIMENTS = {
     "micro": run_micro,
     "ablations": run_ablations,
     "scaling": run_scaling_cmd,
+    "resharding": run_resharding_cmd,
 }
 
 

@@ -17,6 +17,12 @@ with read logging at everysec, the calibrated record costs from
 companion :func:`erasure_fanout` measures how cross-shard Art. 17 erasure
 (fan-out DELs + one shared-keystore crypto-erasure + per-shard AOF
 compaction) scales with shard count.
+
+:func:`run_resharding` adds the operational cost the related work says
+dominates real deployments: the throughput a live workload keeps *while*
+slots migrate between shards (DUMP/RESTORE transfers charged to the
+inter-shard link, clients absorbing MOVED/ASK redirects), versus steady
+state before and after the topology change.
 """
 
 from __future__ import annotations
@@ -25,7 +31,14 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..cluster import ClusterClient, ShardedGDPRStore, build_cluster
+from ..cluster import (
+    ClusterClient,
+    ShardedGDPRStore,
+    SlotMap,
+    SlotMigrator,
+    build_cluster,
+    slot_for_key,
+)
 from ..common.clock import Clock
 from ..device.append_log import AppendLog
 from ..device.latency import INTEL_750_SSD
@@ -74,6 +87,22 @@ def _store_factory(gdpr: bool):
     return make
 
 
+def _request_mix(keys: Sequence[str], value: bytes, count: int,
+                 seed: int) -> List[tuple]:
+    """YCSB-B-shaped request stream over ``keys`` (zipfian, 95% reads)."""
+    rng = random.Random(seed)
+    chooser = ScrambledZipfianGenerator(0, len(keys) - 1,
+                                        rng=random.Random(seed + 1))
+    requests = []
+    for _ in range(count):
+        key = keys[min(chooser.next_value(), len(keys) - 1)]
+        if rng.random() < READ_FRACTION:
+            requests.append(("GET", key))
+        else:
+            requests.append(("SET", key, value))
+    return requests
+
+
 def _pipelined_phase(cluster: ClusterClient, requests: Sequence[tuple],
                      depth: int) -> float:
     """Issue ``requests`` in depth-sized pipelined batches; ops/s."""
@@ -102,16 +131,8 @@ def run_cell(shards: int, depth: int, gdpr: bool,
     keys = [build_key_name(number) for number in range(record_count)]
     load_tput = _pipelined_phase(
         cluster, [("SET", key, value) for key in keys], depth)
-    chooser = ScrambledZipfianGenerator(0, record_count - 1,
-                                        rng=random.Random(seed + 1))
-    requests = []
-    for _ in range(operation_count):
-        key = keys[min(chooser.next_value(), record_count - 1)]
-        if rng.random() < READ_FRACTION:
-            requests.append(("GET", key))
-        else:
-            requests.append(("SET", key, value))
-    run_tput = _pipelined_phase(cluster, requests, depth)
+    run_tput = _pipelined_phase(
+        cluster, _request_mix(keys, value, operation_count, seed), depth)
     return ScalingCell(shards=shards, depth=depth, gdpr=gdpr,
                        throughput=run_tput, load_throughput=load_tput)
 
@@ -145,6 +166,139 @@ def scaling_table(cells: Sequence[ScalingCell]) -> str:
         ])
     return render_table(["shards", "depth", "gdpr", "ops/s", "speedup"],
                         rows)
+
+
+@dataclass
+class ReshardingResult:
+    """Throughput around a live resharding, one GDPR setting."""
+
+    gdpr: bool
+    steady_before: float    # ops/s, no migration in flight
+    during: float           # ops/s while slots migrate under the load
+    steady_after: float     # ops/s after the last ownership flip
+    slots_moved: int
+    keys_moved: int
+    bytes_moved: int
+    moved_redirects: int
+    ask_redirects: int
+
+    @property
+    def drag(self) -> float:
+        """Fraction of steady-state throughput kept during migration."""
+        if self.steady_before <= 0:
+            return 0.0
+        return self.during / self.steady_before
+
+
+def run_resharding(shards: int = 2, depth: int = 8, gdpr: bool = False,
+                   record_count: int = 300, operation_count: int = 900,
+                   migrate_fraction: float = 1.0,
+                   migrate_batch: int = 4,
+                   seed: int = 42) -> ReshardingResult:
+    """Measure the paper's missing number: throughput *during* a live
+    resharding versus steady state.
+
+    The classic scale-out event: a cluster of ``shards`` serving a
+    pipelined workload grows by one empty shard, and a share of every
+    existing shard's populated slots (``migrate_fraction`` of an even
+    rebalance) migrates into it **while the workload keeps running** --
+    ``SlotMigrator`` steps interleaved with pipelined batches, the client
+    discovering each ownership flip through MOVED/ASK redirects.  Reports
+    steady-state throughput before, during, and after.
+    """
+    slot_map = SlotMap.even(shards)
+    cluster = build_cluster(shards + 1, slot_map=slot_map,
+                            store_factory=_store_factory(gdpr),
+                            latency=RAW_ONE_WAY_LATENCY)
+    rng = random.Random(seed)
+    value = bytes(rng.randrange(32, 127) for _ in range(VALUE_SIZE))
+    keys = [build_key_name(number) for number in range(record_count)]
+    _pipelined_phase(cluster, [("SET", key, value) for key in keys],
+                     depth)
+    third = max(depth, operation_count // 3)
+    steady_before = _pipelined_phase(
+        cluster, _request_mix(keys, value, third, seed + 2), depth)
+
+    # An even rebalance hands the new shard 1/(shards+1) of each existing
+    # shard's populated slots; migrate_fraction scales that share.
+    target = cluster.slots.add_shard()
+    to_move: List[int] = []
+    for shard in range(shards):
+        populated = sorted({slot_for_key(key) for key in keys
+                            if cluster.slots.shard_of_slot(
+                                slot_for_key(key)) == shard})
+        share = int(len(populated) * migrate_fraction / (shards + 1))
+        to_move.extend(populated[:max(1, share)])
+    moved_before = cluster.moved_redirects
+    asked_before = cluster.ask_redirects
+    requests = _request_mix(keys, value, third, seed + 3)
+    offset = 0
+    keys_moved = bytes_moved = 0
+    start = cluster.clock.now()
+    for slot in to_move:
+        migrator = SlotMigrator(cluster, slot, target)
+        while migrator.keys_pending:
+            migrator.step(migrate_batch)
+            batch = requests[offset:offset + depth]
+            offset += depth
+            if batch:
+                pipeline = cluster.pipeline()
+                for args in batch:
+                    pipeline.call(*args)
+                pipeline.execute()
+        receipt = migrator.finish()
+        keys_moved += len(receipt.keys_moved)
+        bytes_moved += receipt.bytes_moved
+    while offset < len(requests):
+        pipeline = cluster.pipeline()
+        for args in requests[offset:offset + depth]:
+            pipeline.call(*args)
+        offset += depth
+        pipeline.execute()
+    # The last flips charged the source/target clocks; bill that tail to
+    # the migration phase, not to the steady-state run that follows.
+    cluster.sync()
+    elapsed = cluster.clock.now() - start
+    during = len(requests) / elapsed if elapsed > 0 else 0.0
+
+    steady_after = _pipelined_phase(
+        cluster, _request_mix(keys, value, third, seed + 4), depth)
+    return ReshardingResult(
+        gdpr=gdpr, steady_before=steady_before, during=during,
+        steady_after=steady_after, slots_moved=len(to_move),
+        keys_moved=keys_moved, bytes_moved=bytes_moved,
+        moved_redirects=cluster.moved_redirects - moved_before,
+        ask_redirects=cluster.ask_redirects - asked_before)
+
+
+def run_resharding_sweep(record_count: int = 300,
+                         operation_count: int = 900,
+                         seed: int = 42) -> List[ReshardingResult]:
+    """The resharding scenario for both GDPR settings."""
+    return [run_resharding(gdpr=gdpr, record_count=record_count,
+                           operation_count=operation_count, seed=seed)
+            for gdpr in (False, True)]
+
+
+def resharding_table(results: Sequence[ReshardingResult]) -> str:
+    rows = []
+    for result in results:
+        rows.append([
+            "on" if result.gdpr else "off",
+            round(result.steady_before, 1),
+            round(result.during, 1),
+            round(result.steady_after, 1),
+            f"{result.drag:.2f}x",
+            result.slots_moved,
+            result.keys_moved,
+            result.bytes_moved,
+            result.moved_redirects,
+            result.ask_redirects,
+        ])
+    return render_table(
+        ["gdpr", "steady ops/s", "during ops/s", "after ops/s", "drag",
+         "slots", "keys", "bytes", "moved", "ask"],
+        rows)
 
 
 def erasure_fanout(shard_counts: Sequence[int] = (1, 2, 4),

@@ -1,37 +1,66 @@
-"""Hash-slot sharded cluster layer: routing, pipelining, GDPR fan-out.
+"""Hash-slot sharded cluster layer: routing, pipelining, live resharding.
 
 The scaling seam the ROADMAP calls for: CRC16 -> 16384 hash slots ->
-N shards (:mod:`repro.cluster.slots`), a pipelining
+N shards (:mod:`repro.cluster.slots`), a pipelining, redirect-following
 :class:`ClusterClient` over the simulated network
-(:mod:`repro.cluster.client`), and a :class:`ShardedGDPRStore` that fans
-subject rights and crypto-erasure out across shards
+(:mod:`repro.cluster.client`), **live slot migration** that moves data --
+not just routing -- between shards behind MOVED/ASK redirects
+(:mod:`repro.cluster.migration`), and a :class:`ShardedGDPRStore` that
+fans subject rights and crypto-erasure out across shards
 (:mod:`repro.cluster.sharded_store`).
+
+Layer-wide invariants (each module's docstring details its own):
+
+* every key maps to exactly one of :data:`NUM_SLOTS` hash slots, and
+  every slot to exactly one owning shard, even mid-migration;
+* multi-key commands are CROSSSLOT-checked at both the client and the
+  shard (colocate with ``{hash tag}``);
+* audit chains, AOFs, and erasure events are per shard -- compliance
+  evidence stays on the machine that served the interaction;
+* Art. 17 erasure reaches every copy a subject has, on every shard,
+  including mid-migration shadow copies, and one shared-keystore
+  crypto-erasure voids all ciphertexts at once.
 """
 
 from .client import (
     BufferedTransport,
     ClusterClient,
     ClusterNode,
+    ClusterStoreServer,
     KEYLESS_COMMANDS,
     MULTI_KEY_COMMANDS,
     Pipeline,
     build_cluster,
+    command_keys,
 )
+from .migration import GDPRSlotMigrator, MigrationReceipt, SlotMigrator
 from .sharded_store import ShardedErasureReceipt, ShardedGDPRStore
-from .slots import NUM_SLOTS, SlotMap, hash_tag, slot_for_key
+from .slots import (
+    MigrationState,
+    NUM_SLOTS,
+    SlotMap,
+    hash_tag,
+    slot_for_key,
+)
 
 __all__ = [
     "NUM_SLOTS",
+    "MigrationState",
     "SlotMap",
     "hash_tag",
     "slot_for_key",
     "BufferedTransport",
     "ClusterClient",
     "ClusterNode",
+    "ClusterStoreServer",
     "Pipeline",
     "build_cluster",
+    "command_keys",
     "KEYLESS_COMMANDS",
     "MULTI_KEY_COMMANDS",
+    "GDPRSlotMigrator",
+    "MigrationReceipt",
+    "SlotMigrator",
     "ShardedGDPRStore",
     "ShardedErasureReceipt",
 ]

@@ -1,8 +1,8 @@
-"""Cluster client: slot-routed commands and pipelined batches.
+"""Cluster client: slot-routed commands, pipelining, MOVED/ASK redirects.
 
 A :class:`ClusterClient` fronts N single-node stores, each behind its own
 simulated channel and RESP server, and routes every command to the shard
-owning its key's hash slot.  Two things make it more than a router:
+owning its key's hash slot.  Three things make it more than a router:
 
 * **Pipelining** -- :meth:`ClusterClient.pipeline` batches many requests
   into *one* transmit per shard per round trip (and the server's replies
@@ -16,6 +16,25 @@ owning its key's hash slot.  Two things make it more than a router:
   concurrently, as in a real shared-nothing cluster.  After every round
   trip all clocks are re-synchronized to the cluster-wide time, so
   per-shard background work (fsync, cron) stays coherent.
+* **Topology discovery** -- the client routes from its *own cached* view
+  of the slot map, while each shard's :class:`ClusterStoreServer` checks
+  requests against the authoritative :class:`~repro.cluster.slots.SlotMap`
+  and answers ``MOVED`` (ownership changed durably: update the cache and
+  retry) or ``ASK`` (slot mid-migration: retry this one request at the
+  importing shard behind an ``ASKING`` prefix).  Redirect-following is
+  transparent to callers of :meth:`call` and pipelined batches alike, and
+  capped (:class:`~repro.common.errors.RedirectLoopError`) so a confused
+  topology cannot loop forever.
+
+Cross-shard invariants enforced here:
+
+* multi-key commands must keep every key in one hash slot (``CROSSSLOT``,
+  checked client-side at routing *and* server-side against stale clients);
+* during a slot migration the source serves keys it still holds and ASKs
+  for keys it does not; the importing target serves only ``ASKING``
+  requests until the slot flips;
+* keyspace-wide broadcasts (``DBSIZE``/``KEYS``) exclude *importing*
+  slots on the target so a key mid-copy is never double-counted.
 """
 
 from __future__ import annotations
@@ -23,13 +42,20 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.clock import Clock, SimClock
-from ..common.errors import ClusterError, CrossSlotError
-from ..common.resp import RespDecoder, RespError, encode_command
+from ..common.errors import (
+    AskError,
+    ClusterError,
+    CrossSlotError,
+    MovedError,
+    RedirectError,
+    RedirectLoopError,
+)
+from ..common.resp import RespDecoder, RespError, encode, encode_command
 from ..kvstore.commands import normalize_args
-from ..kvstore.server import RawTransport, StoreServer
+from ..kvstore.server import RawTransport, ServerConnection, StoreServer
 from ..kvstore.store import KeyValueStore, StoreConfig
 from ..net.channel import Channel, LAN_LATENCY, RAW_BANDWIDTH_BPS
-from .slots import SlotMap, slot_for_key
+from .slots import NUM_SLOTS, SlotMap, slot_for_key
 
 # Commands with no key argument route to shard 0 unless the caller pins one.
 KEYLESS_COMMANDS = frozenset((
@@ -60,6 +86,39 @@ MULTI_KEY_COMMANDS: Dict[bytes, Tuple[int, int]] = {
 }
 
 
+def command_keys(argv: Sequence[bytes]) -> List[bytes]:
+    """The key arguments of ``argv`` (empty for keyless / broadcast /
+    per-shard commands).  Shared by client routing and the server-side
+    slot check so both layers agree on what counts as a key."""
+    name = argv[0].upper()
+    if (name in KEYLESS_COMMANDS or name in BROADCAST_COMMANDS
+            or name in UNROUTABLE_COMMANDS or len(argv) < 2):
+        return []
+    positions = MULTI_KEY_COMMANDS.get(name)
+    if positions is None:
+        return [argv[1]]
+    first, step = positions
+    return list(argv[first::step])
+
+
+def _parse_redirect(reply: Any) -> Optional[RedirectError]:
+    """Recognize a MOVED/ASK wire error; None for anything else."""
+    if not isinstance(reply, RespError):
+        return None
+    parts = str(reply).split()
+    if len(parts) != 3:
+        return None
+    try:
+        slot, shard = int(parts[1]), int(parts[2])
+    except ValueError:
+        return None
+    if parts[0] == "MOVED":
+        return MovedError(slot, shard)
+    if parts[0] == "ASK":
+        return AskError(slot, shard)
+    return None
+
+
 class BufferedTransport:
     """Coalesces sends into one channel transmit per :meth:`flush`.
 
@@ -84,17 +143,146 @@ class BufferedTransport:
         return self._inner.recv_available()
 
 
+class ClusterStoreServer(StoreServer):
+    """A shard's RESP server, aware of the authoritative slot map.
+
+    Before executing a keyed command, the server checks the request's hash
+    slot against the shared :class:`SlotMap` (the role ``clusterState``
+    plays inside a real Redis node):
+
+    * slot owned here and stable -> execute;
+    * slot MIGRATING from here -> execute if every key is still present,
+      ``ASK <slot> <target>`` if none are (``TRYAGAIN`` for a multi-key
+      request split across moved and unmoved keys);
+    * slot IMPORTING here -> execute only when the client sent ``ASKING``
+      first (one-shot, per connection), else ``MOVED`` back to the owner;
+    * slot owned elsewhere -> ``MOVED <slot> <owner>``.
+
+    Multi-key requests are also CROSSSLOT-checked server-side, so a stale
+    or hand-rolled client cannot smuggle a cross-slot command to a shard.
+    ``DBSIZE``/``KEYS`` replies exclude keys in importing slots: while a
+    slot migrates, its keys are counted at the (still-owning) source
+    only.  (A key *created* mid-migration via ASK lives only on the
+    target and is invisible to broadcasts until the flip -- the same
+    not-yet-owned semantics Redis Cluster gives importing slots.)
+
+    As in real Redis Cluster, only database 0 exists: ``SELECT`` is
+    refused, which is what lets slot migration treat "the shard's
+    keyspace" and "database 0" as the same thing.
+    """
+
+    def __init__(self, store: KeyValueStore, shard_index: int = 0,
+                 slot_map: Optional[SlotMap] = None) -> None:
+        super().__init__(store)
+        self.shard_index = shard_index
+        self.slot_map = slot_map
+
+    def accept(self, transport) -> ServerConnection:
+        conn = super().accept(transport)
+        conn.asking = False
+        return conn
+
+    def _serve(self, conn: ServerConnection, request: Any) -> None:
+        if (not isinstance(request, list) or not request
+                or not all(isinstance(a, bytes) for a in request)):
+            super()._serve(conn, request)
+            return
+        name = request[0].upper()
+        if name == b"ASKING":
+            conn.asking = True
+            conn.transport.send(b"+OK\r\n")
+            return
+        asking, conn.asking = getattr(conn, "asking", False), False
+        if self.slot_map is None:
+            super()._serve(conn, request)
+            return
+        if name == b"SELECT":
+            conn.transport.send(encode(RespError(
+                "ERR SELECT is not allowed in cluster mode")))
+            return
+        redirect = self._slot_check(conn, request, asking)
+        if redirect is not None:
+            conn.transport.send(encode(redirect))
+            return
+        if name in (b"DBSIZE", b"KEYS"):
+            reply = self._without_importing(conn, name,
+                                            self._execute(conn, request))
+            conn.transport.send(encode(reply))
+            return
+        super()._serve(conn, request)
+
+    def _holds(self, conn: ServerConnection, key: bytes) -> bool:
+        db = self.store.databases[conn.session.db_index]
+        return (key in db and not self.store.key_is_expired(
+            db, key, self.store.clock.now()))
+
+    def _slot_check(self, conn: ServerConnection, request: List[bytes],
+                    asking: bool) -> Optional[RespError]:
+        keys = command_keys(request)
+        if not keys:
+            return None
+        slots = {slot_for_key(key) for key in keys}
+        if len(slots) > 1:
+            return RespError(
+                "CROSSSLOT Keys in request don't hash to the same slot")
+        slot = slots.pop()
+        owner = self.slot_map.shard_of_slot(slot)
+        state = self.slot_map.migration_of(slot)
+        if owner == self.shard_index:
+            if state is None:
+                return None
+            # MIGRATING source: serve what is still here, ASK for the rest.
+            missing = [key for key in keys
+                       if not self._holds(conn, key)]
+            if not missing:
+                return None
+            if len(missing) < len(keys):
+                return RespError(
+                    "TRYAGAIN Multiple keys request during rehashing "
+                    "of slot")
+            return RespError(str(AskError(slot, state.target)))
+        if state is not None and state.target == self.shard_index:
+            if asking:
+                return None
+            return RespError(str(MovedError(slot, state.source)))
+        return RespError(str(MovedError(slot, owner)))
+
+    def _without_importing(self, conn: ServerConnection, name: bytes,
+                           reply: Any) -> Any:
+        """Drop keys in importing slots from keyspace-wide replies.
+
+        Mid-migration both the source (authoritative) and the target
+        (partial copy) hold a slot's keys; counting the importing side
+        would double-count every key already copied.
+        """
+        importing = set(self.slot_map.importing_slots_of(self.shard_index))
+        if not importing or isinstance(reply, RespError):
+            return reply
+        if name == b"KEYS":
+            return [key for key in reply
+                    if slot_for_key(key) not in importing]
+        db = self.store.databases[conn.session.db_index]
+        now = self.store.clock.now()
+        imported = sum(
+            1 for key in db.keys()
+            if slot_for_key(key) in importing
+            and not self.store.key_is_expired(db, key, now))
+        return reply - imported
+
+
 class ClusterNode:
-    """One shard: a store behind its own channel and RESP server."""
+    """One shard: a store behind its own channel and slot-aware server."""
 
     def __init__(self, index: int, store: KeyValueStore,
-                 channel: Channel) -> None:
+                 channel: Channel,
+                 slot_map: Optional[SlotMap] = None) -> None:
         self.index = index
         self.store = store
         self.clock = store.clock
         self.channel = channel
         client_end, server_end = channel.endpoints()
-        self.server = StoreServer(store)
+        self.server = ClusterStoreServer(store, shard_index=index,
+                                         slot_map=slot_map)
         self.server_out = BufferedTransport(RawTransport(server_end))
         self.server.accept(self.server_out)
         self._client_transport = RawTransport(client_end)
@@ -137,8 +325,11 @@ class Pipeline:
         return self
 
     def execute(self, raise_errors: bool = True) -> List[Any]:
-        replies = self._client.execute_routed(self._requests)
-        self._requests = []
+        # Detach the queue first: if execution raises (redirect loop,
+        # unknown shard), a reused pipeline must not re-submit these
+        # side-effecting requests ahead of its next batch.
+        requests, self._requests = self._requests, []
+        replies = self._client.execute_routed(requests)
         if raise_errors:
             for reply in replies:
                 if isinstance(reply, RespError):
@@ -146,12 +337,32 @@ class Pipeline:
         return replies
 
 
+class _Request:
+    """One routed request's lifecycle across redirect retries."""
+
+    __slots__ = ("shard", "argv", "asking", "redirects", "reply")
+
+    def __init__(self, shard: int, argv: List[bytes]) -> None:
+        self.shard = shard
+        self.argv = argv
+        self.asking = False
+        self.redirects = 0
+        self.reply: Any = None
+
+
 class ClusterClient:
-    """Routes commands across shards; one simulated client's view."""
+    """Routes commands across shards; one simulated client's view.
+
+    The client never reads the authoritative slot map after construction:
+    it routes from a private snapshot (``MOVED`` replies update it, as a
+    real cluster client updates its slots table) so a live migration is
+    *discovered* through redirects exactly as in Redis Cluster.
+    """
 
     def __init__(self, nodes: Sequence[ClusterNode],
                  slot_map: Optional[SlotMap] = None,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 max_redirects: int = 5) -> None:
         if not nodes:
             raise ClusterError("a cluster needs at least one shard")
         self.nodes = list(nodes)
@@ -163,11 +374,25 @@ class ClusterClient:
                 f"{self.slots.num_shards - 1} but only "
                 f"{len(self.nodes)} nodes exist")
         self.clock = clock if clock is not None else SimClock()
+        self.max_redirects = max_redirects
+        self.moved_redirects = 0
+        self.ask_redirects = 0
+        self._route: List[int] = []
+        self.refresh_routing()
 
     # -- routing -----------------------------------------------------------
 
+    def refresh_routing(self) -> None:
+        """Resynchronize the routing cache from the authoritative slot
+        map (the analogue of re-fetching ``CLUSTER SLOTS``).  Normally
+        unnecessary: MOVED replies keep the cache converging lazily."""
+        self._route = [self.slots.shard_of_slot(slot)
+                       for slot in range(NUM_SLOTS)]
+
     def shard_for(self, key) -> int:
-        return self.slots.shard_for_key(key)
+        """The shard this client would contact for ``key`` (its cached
+        view, which may lag the authoritative map mid-migration)."""
+        return self._route[slot_for_key(key)]
 
     def route(self, argv: List[bytes]) -> int:
         """The shard an argv executes on (CROSSSLOT-checked)."""
@@ -185,13 +410,13 @@ class ClusterClient:
             return 0
         positions = MULTI_KEY_COMMANDS.get(name)
         if positions is None:
-            return self.slots.shard_for_key(argv[1])
+            return self._route[slot_for_key(argv[1])]
         first, step = positions
         slots = {slot_for_key(key) for key in argv[first::step]}
         if len(slots) > 1:
             raise CrossSlotError(
                 "CROSSSLOT Keys in request don't hash to the same slot")
-        return self.slots.shard_of_slot(slots.pop())
+        return self._route[slots.pop()]
 
     # -- execution ---------------------------------------------------------
 
@@ -233,26 +458,71 @@ class ClusterClient:
                        ) -> List[Any]:
         """Execute pre-routed (shard, argv) requests; replies come back in
         request order.  Shards touched by the batch run concurrently: the
-        batch costs the slowest shard's time, not the shards' sum."""
-        per_shard: Dict[int, List[Tuple[int, List[bytes]]]] = {}
-        for position, (shard, argv) in enumerate(requests):
-            if not 0 <= shard < len(self.nodes):
-                raise ClusterError(f"unknown shard {shard}")
-            per_shard.setdefault(shard, []).append((position, argv))
+        batch costs the slowest shard's time, not the shards' sum.
+
+        MOVED/ASK replies are followed transparently: redirected requests
+        are regrouped and retried in further round trips (each round trip
+        again concurrent across the shards it touches), so a pipelined
+        batch straddling a live migration completes with at most a few
+        extra round trips.  Each request may be redirected at most
+        ``max_redirects`` times before
+        :class:`~repro.common.errors.RedirectLoopError` is raised.
+        """
+        entries = [_Request(shard, argv) for shard, argv in requests]
+        pending = entries
+        while pending:
+            self._round_trip(pending)
+            retry: List[_Request] = []
+            for entry in pending:
+                redirect = _parse_redirect(entry.reply)
+                if redirect is None:
+                    continue
+                if not 0 <= redirect.shard < len(self.nodes):
+                    continue    # cannot follow; surface the raw error
+                entry.redirects += 1
+                if entry.redirects > self.max_redirects:
+                    raise RedirectLoopError(
+                        f"{entry.argv[0].decode('ascii', 'replace')} "
+                        f"request redirected {entry.redirects} times "
+                        "without converging on an owner")
+                if isinstance(redirect, MovedError):
+                    # Durable topology change: learn it, then retry.
+                    self.moved_redirects += 1
+                    self._route[redirect.slot] = redirect.shard
+                    entry.shard, entry.asking = redirect.shard, False
+                else:
+                    # ASK: one-shot redirect, no routing-table update.
+                    self.ask_redirects += 1
+                    entry.shard, entry.asking = redirect.shard, True
+                retry.append(entry)
+            pending = retry
+        return [entry.reply for entry in entries]
+
+    def _round_trip(self, entries: Sequence[_Request]) -> None:
+        """One concurrent round trip: every entry's request reaches its
+        shard (ASKING-prefixed where flagged) and its reply is stored."""
+        per_shard: Dict[int, List[Tuple[Optional[_Request],
+                                        List[bytes]]]] = {}
+        for entry in entries:
+            if not 0 <= entry.shard < len(self.nodes):
+                raise ClusterError(f"unknown shard {entry.shard}")
+            batch = per_shard.setdefault(entry.shard, [])
+            if entry.asking:
+                batch.append((None, [b"ASKING"]))
+            batch.append((entry, entry.argv))
         start = self.clock.now()
         finish = start
-        replies: List[Any] = [None] * len(requests)
         for shard, batch in per_shard.items():
             node = self.nodes[shard]
             node.clock.sleep_until(start)
             node.store.tick()
-            for position, reply in zip(
-                    (p for p, _ in batch),
+            for (entry, _), reply in zip(
+                    batch,
                     node.execute_batch([argv for _, argv in batch])):
-                replies[position] = reply
+                if entry is not None:
+                    entry.reply = reply
             finish = max(finish, node.clock.now())
         self.clock.sleep_until(finish)
-        return replies
 
     def sync(self) -> float:
         """Bring every shard clock up to cluster time (idle shards pass
@@ -289,6 +559,8 @@ def build_cluster(num_shards: int,
     single timeline.
     """
     master = clock if clock is not None else SimClock()
+    if slot_map is None:
+        slot_map = SlotMap.even(num_shards)
     if store_factory is None:
         def store_factory(index: int, node_clock: Clock) -> KeyValueStore:
             return KeyValueStore(StoreConfig(), clock=node_clock)
@@ -302,5 +574,6 @@ def build_cluster(num_shards: int,
             raise ClusterError(
                 "store_factory must build the store on the clock it is "
                 "given (shard time and channel time must agree)")
-        nodes.append(ClusterNode(index, store, channel))
+        nodes.append(ClusterNode(index, store, channel,
+                                 slot_map=slot_map))
     return ClusterClient(nodes, slot_map=slot_map, clock=master)

@@ -12,6 +12,28 @@ its replicas and backups", extended across the cluster).
 Subject-rights operations (Art. 15 access, Art. 17 erasure, Art. 20
 portability, Art. 21 objection) fan out to the shards holding the
 subject's records and merge the per-shard results.
+
+Cross-shard invariants:
+
+* **Slot-routed data path.**  Every record lives on the shard owning its
+  key's hash slot; related keys colocate via ``{hash tag}`` (the cluster
+  client's CROSSSLOT rule applies one layer down, so anything written
+  here is also servable from the RESP cluster without rehashing).
+* **Audit chains are per shard.**  Evidence never crosses machines:
+  rights fan-out appends to each holding shard's own chain, and a slot
+  migration appends ``migrate-in``/``migrate-out`` records to *both*
+  chains -- :meth:`verify_audit_chains` must pass on every shard
+  independently after any topology change.
+* **Erasure fans out to every copy.**  :meth:`erase_subject` touches the
+  shards whose indexes know the subject -- during a live migration that
+  includes the importing target's shadow copies -- and one shared-keystore
+  crypto-erasure voids ciphertexts everywhere, including bytes a source
+  AOF still holds from before the handoff.
+* **Migration moves metadata with data.**  :meth:`migrate_slot` (or the
+  steppable :meth:`begin_slot_migration`) ships sealed envelopes plus
+  their GDPR metadata and flips slot ownership atomically; mid-flight,
+  routing follows the source until the flip, except for keys the source
+  no longer holds (newly created ones), which are born on the target.
 """
 
 from __future__ import annotations
@@ -35,7 +57,8 @@ from ..gdpr.rights import (
 )
 from ..gdpr.store import CONTROLLER, GDPRConfig, GDPRStore
 from ..kvstore.store import KeyValueStore, StoreConfig
-from .slots import SlotMap
+from .migration import GDPRSlotMigrator, MigrationReceipt
+from .slots import SlotMap, slot_for_key
 
 GDPRConfigFactory = Callable[[int], GDPRConfig]
 KVFactory = Callable[[int, Clock], KeyValueStore]
@@ -99,7 +122,22 @@ class ShardedGDPRStore:
         return len(self.shards)
 
     def shard_for(self, key: str) -> int:
-        return self.slots.shard_for_key(key)
+        """The shard serving ``key`` right now.
+
+        Stable slots route to their owner.  A migrating slot routes to
+        the (still-authoritative) source while it holds the key; a key
+        the source does not hold -- newly created mid-migration, or
+        already handed off -- lives on the importing target.  This is the
+        in-process analogue of the RESP layer's ASK redirect.
+        """
+        slot = slot_for_key(key)
+        owner = self.slots.shard_of_slot(slot)
+        state = self.slots.migration_of(slot)
+        if state is None:
+            return owner
+        if key in self.shards[state.source].index:
+            return state.source
+        return state.target
 
     def shard_of(self, key: str) -> GDPRStore:
         return self.shards[self.shard_for(key)]
@@ -133,9 +171,11 @@ class ShardedGDPRStore:
         return self.shard_of(key).delete(key, principal=principal)
 
     def keys_of_subject(self, subject: str) -> List[str]:
-        keys: List[str] = []
+        # A set union, not a concatenation: during a live migration the
+        # source and the importing target both index the same key.
+        keys = set()
         for shard in self.shards:
-            keys.extend(shard.keys_of_subject(subject))
+            keys.update(shard.keys_of_subject(subject))
         return sorted(keys)
 
     def subject_exists(self, subject: str) -> bool:
@@ -161,16 +201,24 @@ class ShardedGDPRStore:
         merged = AccessReport(subject=subject, generated_at=started)
         purposes: set = set()
         recipients: set = set()
+        chosen: Dict[str, dict] = {}
+        decision_keys: set = set()
         for index in holders:
             report = right_of_access(self.shards[index], subject,
                                      principal=principal)
-            merged.records.extend(report.records)
-            merged.automated_decision_keys.extend(
-                report.automated_decision_keys)
+            for entry in report.records:
+                # Mid-migration both source and target report the key;
+                # keep the copy on the shard routing considers current
+                # (the still-authoritative source) and drop the shadow.
+                key = entry["key"]
+                if key not in chosen or index == self.shard_for(key):
+                    chosen[key] = entry
+            decision_keys.update(report.automated_decision_keys)
             purposes.update(report.purposes)
             recipients.update(report.recipients)
-        merged.records.sort(key=lambda entry: entry["key"])
-        merged.automated_decision_keys.sort()
+        merged.records = sorted(chosen.values(),
+                                key=lambda entry: entry["key"])
+        merged.automated_decision_keys = sorted(decision_keys)
         merged.purposes = sorted(purposes)
         merged.recipients = sorted(recipients)
         merged.elapsed = self.clock.now() - started
@@ -187,15 +235,25 @@ class ShardedGDPRStore:
         requested_at = self.clock.now()
         receipts: Dict[int, ErasureReceipt] = {}
         for index in holders:
-            receipts[index] = right_to_erasure(
-                self.shards[index], subject, principal=principal,
-                compact_log=compact_log)
-        keys = sorted(key for receipt in receipts.values()
-                      for key in receipt.keys_erased)
+            try:
+                receipts[index] = right_to_erasure(
+                    self.shards[index], subject, principal=principal,
+                    compact_log=compact_log)
+            except UnknownSubjectError:
+                # A live slot migration's delete-cascade already evicted
+                # this shard's copies (erasing the source shadow-deletes
+                # the target); the subject is gone here, which is the
+                # outcome erasure wants.
+                continue
+        keys = sorted({key for receipt in receipts.values()
+                       for key in receipt.keys_erased})
         return ShardedErasureReceipt(
             subject=subject, requested_at=requested_at,
             completed_at=self.clock.now(), keys_erased=keys,
-            shards_touched=holders,
+            # Only shards that actually recorded an erasure: a holder
+            # whose copies were already evicted by a migration cascade
+            # must not appear in the compliance evidence.
+            shards_touched=sorted(receipts),
             crypto_erased=any(r.crypto_erased for r in receipts.values()),
             residual_in_aof=any(r.residual_in_aof
                                 for r in receipts.values()),
@@ -203,22 +261,45 @@ class ShardedGDPRStore:
 
     def export_subject(self, subject: str, fmt: str = "json",
                        principal: Optional[Principal] = None) -> bytes:
-        """Art. 20 across shards: one portable document, all shards."""
+        """Art. 20 across shards: one portable document, all shards
+        (mid-migration shadow copies deduplicated by key)."""
         holders = self._require_subject(subject)
-        rows: List[dict] = []
+        chosen: Dict[str, dict] = {}
         for index in holders:
-            rows.extend(portability_rows(self.shards[index], subject,
-                                         fmt=fmt, principal=principal))
-        rows.sort(key=lambda row: row["key"])
+            for row in portability_rows(self.shards[index], subject,
+                                        fmt=fmt, principal=principal):
+                if row["key"] not in chosen \
+                        or index == self.shard_for(row["key"]):
+                    chosen[row["key"]] = row
+        rows = sorted(chosen.values(), key=lambda row: row["key"])
         return render_portability(subject, rows, fmt)
 
     def object_to_purpose(self, subject: str, purpose: str,
                           principal: Optional[Principal] = None) -> int:
-        """Art. 21 across shards; returns records updated."""
+        """Art. 21 across shards; returns *distinct* records updated (a
+        mid-migration record whose two copies both get the objection
+        counts once)."""
         holders = self._require_subject(subject)
-        return sum(right_to_object(self.shards[index], subject, purpose,
-                                   principal=principal)
-                   for index in holders)
+        for index in holders:
+            right_to_object(self.shards[index], subject, purpose,
+                            principal=principal)
+        return len(self.keys_of_subject(subject))
+
+    # -- resharding --------------------------------------------------------
+
+    def begin_slot_migration(self, slot: int,
+                             target: int) -> GDPRSlotMigrator:
+        """Start a live migration of ``slot`` to ``target`` and return
+        the steppable migrator.  Traffic (including subject rights) keeps
+        flowing while the caller interleaves ``step()`` calls; ``finish``
+        flips ownership atomically."""
+        return GDPRSlotMigrator(self, slot, target)
+
+    def migrate_slot(self, slot: int, target: int,
+                     batch_size: int = 16) -> MigrationReceipt:
+        """Move ``slot``'s records -- values, ciphertexts, GDPR metadata,
+        and audit evidence of the handoff -- to ``target`` in one call."""
+        return self.begin_slot_migration(slot, target).run(batch_size)
 
     # -- maintenance & evidence --------------------------------------------
 

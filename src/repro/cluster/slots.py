@@ -7,13 +7,32 @@ records which shard owns each slot.  Ownership changes *only* through
 explicit resharding calls -- adding a shard assigns it no slots until a
 reshard moves some -- which is what lets a cluster grow without silently
 rerouting live keys.
+
+Cross-shard invariants documented here because every layer above relies
+on them:
+
+* **One slot, one owner.**  ``shard_of_slot`` is total: at any instant
+  every slot has exactly one owning shard, even mid-migration (the source
+  remains the owner until the atomic flip in :meth:`end_migration`).
+* **Live migration is a two-sided state.**  While a slot moves, the owner
+  is *MIGRATING* and the destination is *IMPORTING*
+  (:class:`MigrationState`).  Servers use these states to emit ``ASK``
+  (key absent on the migrating source) and ``MOVED`` (request reached the
+  importing target without ``ASKING``, or a stale client after the flip).
+* **CROSSSLOT rule.**  Multi-key commands must keep all keys in one slot
+  (colocate with ``{hash tag}``); a slot is the unit of migration, so the
+  rule guarantees a multi-key command never straddles a moving boundary.
+* **At most one migration per slot**, and :meth:`assign` refuses to move
+  a slot that is mid-migration -- routing-only resharding and data-moving
+  resharding cannot race on the same slot.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from ..common.errors import ClusterError
+from ..common.errors import ClusterError, MigrationError
 from ..common.hashing import crc16_xmodem
 
 NUM_SLOTS = 16384
@@ -43,12 +62,31 @@ def slot_for_key(key: KeyLike) -> int:
     return crc16_xmodem(hash_tag(key)) % NUM_SLOTS
 
 
+@dataclass(frozen=True)
+class MigrationState:
+    """One slot mid-flight: ``source`` still owns it, ``target`` imports.
+
+    Mirrors Redis Cluster's paired ``CLUSTER SETSLOT <slot> MIGRATING``
+    (on the source) and ``IMPORTING`` (on the target) flags, kept in one
+    record because this SlotMap is the cluster's shared topology view.
+    """
+
+    slot: int
+    source: int
+    target: int
+
+
 class SlotMap:
     """Slot -> shard ownership table with explicit resharding.
 
     The default layout (:meth:`even`) gives shard ``j`` of ``n`` the
     contiguous range ``[j * NUM_SLOTS // n, (j + 1) * NUM_SLOTS // n)``,
     exactly how ``redis-cli --cluster create`` splits a fresh cluster.
+
+    Beyond static ownership, the map tracks **live migrations**: a slot
+    enters :meth:`begin_migration`, the migrator copies keys while servers
+    answer with ASK/MOVED redirects, and :meth:`end_migration` flips the
+    owner atomically (one assignment-table write).
     """
 
     def __init__(self, assignment: Sequence[int]) -> None:
@@ -61,6 +99,7 @@ class SlotMap:
             raise ClusterError("slot map references negative shard ids")
         self._assignment: List[int] = list(assignment)
         self._num_shards = max(shards) + 1
+        self._migrations: Dict[int, MigrationState] = {}
 
     @classmethod
     def even(cls, num_shards: int) -> "SlotMap":
@@ -100,6 +139,73 @@ class SlotMap:
             counts[owner] += 1
         return counts
 
+    # -- migration state ---------------------------------------------------
+
+    def migration_of(self, slot: int) -> Optional[MigrationState]:
+        """The in-flight migration of ``slot``, if any."""
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        return self._migrations.get(slot)
+
+    def is_stable(self, slot: int) -> bool:
+        return self.migration_of(slot) is None
+
+    def is_migrating(self, slot: int, shard: int) -> bool:
+        """Is ``shard`` the source currently handing off ``slot``?"""
+        state = self.migration_of(slot)
+        return state is not None and state.source == shard
+
+    def is_importing(self, slot: int, shard: int) -> bool:
+        """Is ``shard`` the target currently importing ``slot``?"""
+        state = self.migration_of(slot)
+        return state is not None and state.target == shard
+
+    def importing_slots_of(self, shard: int) -> List[int]:
+        return sorted(slot for slot, state in self._migrations.items()
+                      if state.target == shard)
+
+    def migrating_slots_of(self, shard: int) -> List[int]:
+        return sorted(slot for slot, state in self._migrations.items()
+                      if state.source == shard)
+
+    def begin_migration(self, slot: int, target: int) -> MigrationState:
+        """Mark ``slot`` MIGRATING from its owner / IMPORTING on
+        ``target``.  Routing is unchanged -- the source stays the owner --
+        but slot-aware servers start answering ASK/MOVED for it."""
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        if not 0 <= target < self._num_shards:
+            raise ClusterError(f"unknown shard {target}")
+        if slot in self._migrations:
+            raise MigrationError(
+                f"slot {slot} is already migrating "
+                f"({self._migrations[slot].source} -> "
+                f"{self._migrations[slot].target})")
+        source = self._assignment[slot]
+        if source == target:
+            raise MigrationError(
+                f"slot {slot} already belongs to shard {target}")
+        state = MigrationState(slot=slot, source=source, target=target)
+        self._migrations[slot] = state
+        return state
+
+    def end_migration(self, slot: int) -> int:
+        """Atomically flip ownership of ``slot`` to the importing target
+        and clear the migration state.  Returns the new owner."""
+        state = self._migrations.pop(slot, None)
+        if state is None:
+            raise MigrationError(f"slot {slot} is not migrating")
+        self._assignment[slot] = state.target
+        return state.target
+
+    def abort_migration(self, slot: int) -> MigrationState:
+        """Cancel an in-flight migration; ownership never changed, so the
+        source simply stops being MIGRATING.  Returns the cleared state."""
+        state = self._migrations.pop(slot, None)
+        if state is None:
+            raise MigrationError(f"slot {slot} is not migrating")
+        return state
+
     # -- topology changes (always explicit) --------------------------------
 
     def add_shard(self) -> int:
@@ -109,14 +215,20 @@ class SlotMap:
         return self._num_shards - 1
 
     def assign(self, slots: Iterable[int], shard: int) -> int:
-        """Explicit resharding: move ``slots`` to ``shard``.  Returns how
-        many slots actually changed owner."""
+        """Explicit *routing-only* resharding: move ``slots`` to
+        ``shard``.  Returns how many slots actually changed owner.  Slots
+        with an in-flight data migration are refused -- use the migrator's
+        finish/abort path instead."""
         if not 0 <= shard < self._num_shards:
             raise ClusterError(f"unknown shard {shard}")
         moved = 0
         for slot in slots:
             if not 0 <= slot < NUM_SLOTS:
                 raise ClusterError(f"slot {slot} out of range")
+            if slot in self._migrations:
+                raise MigrationError(
+                    f"slot {slot} has an in-flight migration; finish or "
+                    "abort it before reassigning")
             if self._assignment[slot] != shard:
                 self._assignment[slot] = shard
                 moved += 1

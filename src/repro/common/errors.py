@@ -135,6 +135,47 @@ class CrossSlotError(ClusterError):
     """
 
 
+class MigrationError(ClusterError):
+    """A slot-migration state transition was invalid (slot already
+    migrating, migration finished twice, reassignment mid-flight)."""
+
+
+class RedirectError(ClusterError):
+    """Base class for cluster redirects: the contacted shard does not
+    (exclusively) serve the key's slot and names the shard that does.
+
+    Carries the wire-level fields of Redis Cluster's ``MOVED``/``ASK``
+    replies: the hash slot and the shard to contact.
+    """
+
+    def __init__(self, slot: int, shard: int) -> None:
+        super().__init__(f"{self.kind} {slot} {shard}")
+        self.slot = slot
+        self.shard = shard
+
+    kind = "REDIRECT"
+
+
+class MovedError(RedirectError):
+    """``MOVED``: slot ownership changed durably; clients should update
+    their routing table and retry at the named shard."""
+
+    kind = "MOVED"
+
+
+class AskError(RedirectError):
+    """``ASK``: the key is mid-migration; retry *this one request* at the
+    named importing shard, prefixed with ``ASKING``, without updating any
+    routing tables."""
+
+    kind = "ASK"
+
+
+class RedirectLoopError(ClusterError):
+    """A request was redirected more times than the client's cap --
+    the cluster topology view never converged."""
+
+
 # ---------------------------------------------------------------------------
 # GDPR layer
 # ---------------------------------------------------------------------------

@@ -83,6 +83,11 @@ class MetadataIndex:
     def get_metadata(self, key: str) -> Optional[GDPRMetadata]:
         return self._metadata.get(key)
 
+    def keys(self) -> List[str]:
+        """Every indexed key (the GDPR layer's view of the keyspace);
+        slot migration scans this to find a slot's resident records."""
+        return list(self._metadata)
+
     def __contains__(self, key: str) -> bool:
         return key in self._metadata
 

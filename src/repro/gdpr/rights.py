@@ -14,6 +14,25 @@ footprint:
   format (JSON or CSV here).
 * **Art. 21 right to object** -- blacklist a purpose across all of the
   subject's records, effective for every subsequent read.
+
+Every right here operates on **one** :class:`GDPRStore`; the cluster
+layer's :class:`~repro.cluster.sharded_store.ShardedGDPRStore` composes
+them across shards.  The cross-shard invariants that composition relies
+on:
+
+* **Audit evidence is local.**  Each function appends to *this* store's
+  hash-chained audit log; fan-out therefore leaves one record per shard
+  touched, never a cross-shard record (chains verify per shard).
+* **Erasure fan-out covers every copy.**  ``right_to_erasure`` erases
+  the keys *this* shard indexes.  During a live slot migration both the
+  source and the importing target index the same key, so the cluster
+  calls it on both -- and the migration layer cascades source deletes to
+  target shadows, so whichever runs first, no copy survives.  The
+  crypto-erasure step voids the subject's ciphertexts globally (one
+  shared keystore) even where AOF bytes linger.
+* **CROSSSLOT does not apply here.**  Rights operate per key via the
+  store facade, not via multi-key commands, so a subject's records may
+  span arbitrarily many slots and shards.
 """
 
 from __future__ import annotations

@@ -209,3 +209,52 @@ def cmd_persist(ctx: CommandContext, args: List[bytes]) -> int:
         ctx.mark_dirty()
         return 1
     return 0
+
+
+@command("DUMP", arity=2)
+def cmd_dump(ctx: CommandContext, args: List[bytes]) -> Optional[bytes]:
+    """Serialize a key's value into a portable, checksummed payload.
+
+    The transfer format slot migration ships between shards; nil if the
+    key does not exist (mirrors Redis' DUMP).
+    """
+    from .snapshot import dump_value
+    value = ctx.lookup_read(args[1])
+    if value is None:
+        return None
+    return dump_value(value)
+
+
+@command("RESTORE", arity=-4, write=True)
+def cmd_restore(ctx: CommandContext, args: List[bytes]) -> SimpleString:
+    """Materialize a DUMP payload under ``key``.
+
+    ``RESTORE key ttl-ms payload [REPLACE]``: refuses to overwrite an
+    existing key unless REPLACE is given (Redis' BUSYKEY), verifies the
+    payload checksum, and applies ``ttl-ms`` (0 = no expiry) relative to
+    the receiving server's clock.
+    """
+    from ..common.errors import CorruptionError
+    from .snapshot import load_value
+    key, ttl_ms = args[1], parse_int(args[2])
+    if ttl_ms < 0:
+        raise RespError("ERR Invalid TTL value, must be >= 0")
+    replace = False
+    for option in args[4:]:
+        if option.upper() == b"REPLACE":
+            replace = True
+        else:
+            raise RespError("ERR syntax error")
+    existing = ctx.lookup_write(key)
+    if existing is not None:
+        if not replace:
+            raise RespError("BUSYKEY Target key name already exists.")
+        ctx.delete(key)
+    try:
+        value = load_value(args[3])
+    except CorruptionError:
+        raise RespError("ERR DUMP payload version or checksum are wrong")
+    ctx.set_value(key, value)
+    if ttl_ms > 0:
+        ctx.set_expiry(key, ctx.now + ttl_ms / 1000.0)
+    return OK

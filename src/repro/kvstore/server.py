@@ -102,18 +102,21 @@ class StoreServer:
         if name == b"MONITOR":
             self._start_monitor(conn)
             return
+        conn.transport.send(encode(self._execute(conn, request)))
+
+    def _execute(self, conn: ServerConnection, request: List[bytes]) -> Any:
+        """Run one command against the store, mapping store exceptions to
+        RESP errors.  Subclasses (the cluster's slot-aware server) wrap
+        this to inject redirects and reply filters."""
         try:
-            reply = self.store.execute(*request, session=conn.session)
+            return self.store.execute(*request, session=conn.session)
         except RespError as exc:
-            conn.transport.send(encode(exc))
-            return
+            return exc
         except StoreError as exc:
             message = str(exc)
             if not message.split(" ", 1)[0].isupper():
                 message = "ERR " + message
-            conn.transport.send(encode(RespError(message)))
-            return
-        conn.transport.send(encode(reply))
+            return RespError(message)
 
     def _start_monitor(self, conn: ServerConnection) -> None:
         conn.session.monitoring = True

@@ -100,6 +100,65 @@ class _Reader:
         return self._pos >= len(self._data)
 
 
+def _read_value(reader: _Reader) -> RedisValue:
+    """Parse one type-tagged value (the payload layout of
+    :func:`_pack_value`)."""
+    kind = _CODE_TYPES.get(reader.byte())
+    if kind is None:
+        raise CorruptionError("unknown value type code")
+    value: RedisValue
+    if kind == TYPE_STRING:
+        value = reader.blob()
+    elif kind == TYPE_HASH:
+        value = {reader.blob(): reader.blob()
+                 for _ in range(reader.u32())}
+        # Note: dict comprehension evaluates key then value in
+        # insertion order, matching _pack_value's layout.
+    elif kind == TYPE_LIST:
+        value = [reader.blob() for _ in range(reader.u32())]
+    elif kind == TYPE_SET:
+        value = {reader.blob() for _ in range(reader.u32())}
+    else:
+        value = ZSet()
+        for _ in range(reader.u32()):
+            member = reader.blob()
+            value.add(member, reader.f64())
+    return value
+
+
+DUMP_MAGIC = b"REPRODMP1"
+
+
+def dump_value(value: RedisValue) -> bytes:
+    """Serialize one value as a self-contained DUMP payload.
+
+    The format mirrors Redis' ``DUMP``: a version-tagged body (the same
+    type-tagged encoding snapshots use) with a trailing CRC-32, so a
+    payload can travel between nodes -- this is what slot migration ships
+    over the wire -- and be integrity-checked on RESTORE.
+    """
+    out: List[bytes] = [DUMP_MAGIC]
+    _pack_value(out, value)
+    body = b"".join(out)
+    return body + _U32.pack(crc32_of(body))
+
+
+def load_value(data: bytes) -> RedisValue:
+    """Parse and verify a :func:`dump_value` payload."""
+    if len(data) < len(DUMP_MAGIC) + 5:
+        raise CorruptionError("dump payload too small")
+    body, crc_bytes = data[:-4], data[-4:]
+    if crc32_of(body) != _U32.unpack(crc_bytes)[0]:
+        raise CorruptionError("dump payload CRC mismatch")
+    reader = _Reader(body)
+    if reader.take(len(DUMP_MAGIC)) != DUMP_MAGIC:
+        raise CorruptionError("bad dump payload magic")
+    value = _read_value(reader)
+    if not reader.exhausted:
+        raise CorruptionError("trailing bytes after dump payload")
+    return value
+
+
 def dump(databases: List[Database]) -> bytes:
     """Serialize databases to snapshot bytes (CRC-terminated)."""
     out: List[bytes] = [MAGIC]
@@ -140,27 +199,7 @@ def load(data: bytes) -> List[Tuple[int, bytes, Optional[float], RedisValue]]:
         for _ in range(reader.u64()):
             key = reader.blob()
             expire_at = reader.f64() if reader.byte() == 1 else None
-            kind = _CODE_TYPES.get(reader.byte())
-            if kind is None:
-                raise CorruptionError("unknown value type code")
-            value: RedisValue
-            if kind == TYPE_STRING:
-                value = reader.blob()
-            elif kind == TYPE_HASH:
-                value = {reader.blob(): reader.blob()
-                         for _ in range(reader.u32())}
-                # Note: dict comprehension evaluates key then value in
-                # insertion order, matching _pack_value's layout.
-            elif kind == TYPE_LIST:
-                value = [reader.blob() for _ in range(reader.u32())]
-            elif kind == TYPE_SET:
-                value = {reader.blob() for _ in range(reader.u32())}
-            else:
-                value = ZSet()
-                for _ in range(reader.u32()):
-                    member = reader.blob()
-                    value.add(member, reader.f64())
-            entries.append((db_index, key, expire_at, value))
+            entries.append((db_index, key, expire_at, _read_value(reader)))
     return entries
 
 

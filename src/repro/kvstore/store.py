@@ -189,6 +189,16 @@ class KeyValueStore:
                 return [[b"DEL", key]]
             millis = str(int(expire_at * 1000)).encode("ascii")
             return [[b"PEXPIREAT", key, millis]]
+        if name == b"RESTORE":
+            # Replaying a relative TTL later would extend the key's life;
+            # persist the absolute deadline instead, like EXPIRE family.
+            key = argv[1]
+            records = [[b"RESTORE", key, b"0", argv[3], b"REPLACE"]]
+            expire_at = db.get_expiry(key)
+            if expire_at is not None:
+                millis = str(int(expire_at * 1000)).encode("ascii")
+                records.append([b"PEXPIREAT", key, millis])
+            return records
         if name in (b"SETEX", b"PSETEX") or (name == b"SET" and len(argv) > 3):
             key, value = argv[1], argv[3] if name != b"SET" else argv[2]
             records = [[b"SET", key, value]]
@@ -457,6 +467,17 @@ class KeyValueStore:
         active-expire).  The GDPR layer uses this to timestamp erasures."""
         self.deletion_listeners.append(listener)
 
+    def remove_deletion_listener(self, listener: DeletionListener) -> None:
+        """Unsubscribe a deletion listener (no-op if absent); slot
+        migrators detach when their migration finishes."""
+        if listener in self.deletion_listeners:
+            self.deletion_listeners.remove(listener)
+
     def add_write_listener(self, listener: WriteListener) -> None:
         """Subscribe to the effective-write stream (replication feed)."""
         self.write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a write listener (no-op if absent)."""
+        if listener in self.write_listeners:
+            self.write_listeners.remove(listener)

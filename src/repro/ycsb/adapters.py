@@ -163,12 +163,23 @@ class ClusterAdapter(StorageAdapter):
     limitation).  With ``pipeline_depth > 1`` mutations are batched into
     pipelined round trips; reads flush pending mutations first, so
     read-your-writes always holds.
+
+    Live resharding is transparent: the cluster client follows MOVED/ASK
+    redirects, so a workload keeps running while slots migrate between
+    shards.  :attr:`redirects_followed` exposes how many redirects the
+    run absorbed (the benchmark's "cost of topology change" signal).
     """
 
     def __init__(self, cluster, pipeline_depth: int = 1) -> None:
         self.cluster = cluster
         self.pipeline_depth = max(1, pipeline_depth)
         self._pending = None
+
+    @property
+    def redirects_followed(self) -> int:
+        """MOVED + ASK redirects this adapter's client has followed."""
+        return (self.cluster.moved_redirects
+                + self.cluster.ask_redirects)
 
     def _queue(self, *args) -> None:
         if self.pipeline_depth <= 1:

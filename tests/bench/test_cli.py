@@ -38,10 +38,31 @@ class TestCli:
         for gdpr in (False, True):
             assert by_depth[(gdpr, 8)] > by_depth[(gdpr, 1)]
 
+    def test_resharding_small(self, capsys):
+        assert main(["resharding", "--records", "50",
+                     "--ops", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "live slot migration" in out
+        assert "drag" in out
+
+    def test_resharding_moves_data_and_recovers(self):
+        from repro.bench.scaling import run_resharding
+        result = run_resharding(record_count=60, operation_count=120)
+        assert result.slots_moved > 0
+        assert result.keys_moved > 0
+        assert result.bytes_moved > 0
+        assert result.moved_redirects > 0
+        # Migration costs throughput while it runs...
+        assert result.during < result.steady_before
+        # ...but the cluster recovers once the topology settles (the new
+        # shard shares the load, so 'after' is at worst marginally off).
+        assert result.steady_after > 0.8 * result.steady_before
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["warpdrive"])
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
-                                    "micro", "ablations", "scaling"}
+                                    "micro", "ablations", "scaling",
+                                    "resharding"}

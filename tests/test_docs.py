@@ -1,0 +1,40 @@
+"""The docs suite is part of tier-1: drift fails the build locally,
+not just in the CI docs job."""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", ROOT / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+def test_docs_suite_exists():
+    assert (ROOT / "README.md").exists()
+    for name in ("architecture.md", "cluster.md", "benchmarks.md"):
+        assert (ROOT / "docs" / name).exists(), name
+
+
+def test_no_drift_from_roadmap():
+    assert check_docs.check(ROOT) == []
+
+
+def test_canonical_command_extracted():
+    command = check_docs.canonical_verify_command(ROOT)
+    assert "pytest" in command
+
+
+def test_drift_is_detected(tmp_path):
+    """The checker is not a rubber stamp: a paraphrased verify command
+    in README must be flagged."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "ROADMAP.md").write_text(
+        "**Tier-1 verify:** `PYTHONPATH=src python -m pytest -x -q`\n")
+    (tmp_path / "README.md").write_text(
+        "```\nPYTHONPATH=. python -m pytest -q\n```\n")
+    violations = check_docs.check(tmp_path)
+    assert any("drifted" in v for v in violations)
+    assert any("does not quote" in v for v in violations)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Guard the docs against drifting from the repo's ground truth.
+
+Checks, against ROADMAP.md's canonical tier-1 verify command:
+
+1. README.md must quote the canonical verify command verbatim inside a
+   code fence (the quickstart must never teach a stale gate);
+2. any fenced code line in README.md or docs/*.md that *looks like* the
+   verify command (sets PYTHONPATH and invokes pytest without selecting
+   a subpath) must match it exactly -- no paraphrased variants;
+3. every docs file README.md links to must exist, and every doc must be
+   reachable from README.md (no orphaned docs).
+
+Run from the repository root (CI does), or pass the root as argv[1].
+Exits non-zero listing each violation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+VERIFY_RE = re.compile(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`")
+FENCE_RE = re.compile(r"^```")
+LINK_RE = re.compile(r"\]\((docs/[A-Za-z0-9_.-]+\.md)\)")
+
+
+def canonical_verify_command(root: pathlib.Path) -> str:
+    text = (root / "ROADMAP.md").read_text()
+    match = VERIFY_RE.search(text)
+    if match is None:
+        raise SystemExit("ROADMAP.md no longer declares a "
+                         "'**Tier-1 verify:** `...`' command")
+    return match.group(1).strip()
+
+
+def fenced_lines(text: str):
+    """Lines inside ``` fences, with their 1-based line numbers."""
+    inside = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            inside = not inside
+            continue
+        if inside:
+            yield number, line.strip()
+
+
+def looks_like_verify(line: str) -> bool:
+    """A fence line presenting *the* tier-1 gate: a pytest invocation
+    over the whole tree (no explicit test path) with PYTHONPATH set."""
+    if "pytest" not in line or "PYTHONPATH" not in line:
+        return False
+    tail = line.split("pytest", 1)[1]
+    return not any(part.startswith(("tests", "benchmarks"))
+                   for part in tail.split())
+
+
+def check(root: pathlib.Path) -> list:
+    violations = []
+    verify = canonical_verify_command(root)
+    readme = root / "README.md"
+    docs = sorted((root / "docs").glob("*.md"))
+    if not readme.exists():
+        return [f"{readme} is missing"]
+
+    readme_text = readme.read_text()
+    if verify not in readme_text:
+        violations.append(
+            "README.md does not quote the canonical tier-1 verify "
+            f"command from ROADMAP.md: `{verify}`")
+
+    for path in [readme, *docs]:
+        for number, line in fenced_lines(path.read_text()):
+            if looks_like_verify(line) and line != verify:
+                violations.append(
+                    f"{path.relative_to(root)}:{number}: verify-like "
+                    f"command drifted from ROADMAP.md:\n"
+                    f"    found:     {line}\n"
+                    f"    canonical: {verify}")
+
+    linked = set(LINK_RE.findall(readme_text))
+    for target in sorted(linked):
+        if not (root / target).exists():
+            violations.append(f"README.md links to missing {target}")
+    for path in docs:
+        rel = f"docs/{path.name}"
+        if rel not in linked:
+            violations.append(
+                f"{rel} is not linked from README.md (orphaned doc)")
+    return violations
+
+
+def main(argv) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 \
+        else pathlib.Path(__file__).resolve().parent.parent
+    violations = check(root)
+    if violations:
+        print("docs check FAILED:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("docs check passed: verify command in sync, "
+          "all docs linked and present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
