@@ -29,8 +29,10 @@ from .micro import (
 )
 from .reporting import render_table
 from .scaling import (
+    concurrency_table,
     erasure_fanout,
     resharding_table,
+    run_concurrency,
     run_resharding_sweep,
     run_scaling,
     scaling_table,
@@ -154,6 +156,24 @@ def run_resharding_cmd(args: argparse.Namespace) -> None:
           "to track the topology.")
 
 
+def run_concurrency_cmd(args: argparse.Namespace) -> None:
+    _print_header("Concurrency -- open-loop clients x arrival rate on "
+                  "event-loop shards")
+    shard_counts = ((1, 2, 4) if args.full else (1, 2)) \
+        if args.shards is None else (args.shards,)
+    client_counts = ((1, 2, 4, 8, 16) if args.full else (1, 4, 16)) \
+        if args.clients is None else (args.clients,)
+    cells = run_concurrency(shard_counts=shard_counts,
+                            client_counts=client_counts,
+                            record_count=args.records,
+                            operation_count=args.ops)
+    print(concurrency_table(cells))
+    print("\n'p99 queue' = open-loop queueing delay (admission to "
+          "dispatch); 'p99 svc' = dispatch\nto reply, server-side "
+          "queueing included.  Past the service-time ceiling the\n"
+          "backlog -- not throughput -- absorbs extra offered load.")
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "figure1": run_fig1,
@@ -162,6 +182,7 @@ EXPERIMENTS = {
     "ablations": run_ablations,
     "scaling": run_scaling_cmd,
     "resharding": run_resharding_cmd,
+    "concurrency": run_concurrency_cmd,
 }
 
 
@@ -178,6 +199,12 @@ def main(argv=None) -> int:
                         help="YCSB operations per phase")
     parser.add_argument("--full", action="store_true",
                         help="full Figure 2 sweep (slow)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="pin the concurrency sweep to one shard "
+                             "count")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="pin the concurrency sweep to one client "
+                             "count")
     args = parser.parse_args(argv)
     selected = args.experiments or list(EXPERIMENTS)
     for name in selected:

@@ -23,13 +23,22 @@ dominates real deployments: the throughput a live workload keeps *while*
 slots migrate between shards (DUMP/RESTORE transfers charged to the
 inter-shard link, clients absorbing MOVED/ASK redirects), versus steady
 state before and after the topology change.
+
+:func:`run_concurrency` is the event core's scenario: an **open-loop**
+YCSB-B stream admitted at a configured arrival rate across M concurrent
+simulated clients against event-loop shards.  Unlike the closed-loop
+sweep above, offered load is independent of completions, so the numbers
+show what closed loops structurally cannot: throughput climbing with
+client count until the shard's service-time ceiling, and p99 *queueing*
+delay (admission-to-dispatch wait, reported separately from service
+time) exploding once the offered rate crosses that ceiling.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..cluster import (
     ClusterClient,
@@ -46,6 +55,8 @@ from ..gdpr.metadata import GDPRMetadata
 from ..kvstore.store import KeyValueStore, StoreConfig
 from ..ycsb.distributions import ScrambledZipfianGenerator
 from ..ycsb.generator import build_key_name
+from ..ycsb.openloop import OpenLoopRunner
+from ..ycsb.workloads import WORKLOAD_B
 from .calibration import (
     AOF_RECORD_BASE_COST,
     AOF_RECORD_PER_BYTE,
@@ -298,6 +309,93 @@ def resharding_table(results: Sequence[ReshardingResult]) -> str:
     return render_table(
         ["gdpr", "steady ops/s", "during ops/s", "after ops/s", "drag",
          "slots", "keys", "bytes", "moved", "ask"],
+        rows)
+
+
+@dataclass
+class ConcurrencyCell:
+    """One (shards, clients, arrival rate, gdpr) point of the open-loop
+    sweep."""
+
+    shards: int
+    clients: int
+    arrival_rate: float
+    gdpr: bool
+    throughput: float        # completions per simulated second
+    p50_queue: float         # seconds an op waited for a free client
+    p99_queue: float
+    p99_service: float       # dispatch-to-reply, server queue included
+    admitted: int
+    completed: int
+    max_backlog: int
+
+
+def run_concurrency_cell(shards: int, clients: int, arrival_rate: float,
+                         gdpr: bool, record_count: int = 100,
+                         operation_count: int = 400,
+                         seed: int = 42) -> ConcurrencyCell:
+    """One open-loop point: an event-driven cluster of ``shards``
+    event-loop servers, ``clients`` concurrent simulated clients, and a
+    YCSB-B stream admitted at ``arrival_rate`` ops/s."""
+    cluster = build_cluster(shards, store_factory=_store_factory(gdpr),
+                            latency=RAW_ONE_WAY_LATENCY,
+                            event_driven=True)
+    spec = WORKLOAD_B.scaled(record_count=record_count,
+                             operation_count=operation_count)
+    runner = OpenLoopRunner(cluster, spec, clients=clients,
+                            arrival_rate=arrival_rate, seed=seed)
+    runner.preload()
+    report = runner.run(operation_count)
+    return ConcurrencyCell(
+        shards=shards, clients=clients, arrival_rate=arrival_rate,
+        gdpr=gdpr, throughput=report.throughput,
+        p50_queue=report.queue_delay.percentile(50),
+        p99_queue=report.queue_delay.percentile(99),
+        p99_service=report.service_time.percentile(99),
+        admitted=report.admitted, completed=report.completed,
+        max_backlog=report.max_backlog)
+
+
+def run_concurrency(shard_counts: Sequence[int] = (1, 2),
+                    client_counts: Sequence[int] = (1, 4, 16),
+                    arrival_rates: Sequence[float] = (20_000.0, 60_000.0),
+                    record_count: int = 100,
+                    operation_count: int = 400,
+                    seed: int = 42) -> List[ConcurrencyCell]:
+    """The full sweep: shards x clients x arrival rate x GDPR on/off.
+
+    On one shard, throughput rises with client count until the shard's
+    service-time ceiling (more clients only lengthen the queue after
+    that); an arrival rate past the ceiling shows p99 queueing delay
+    growing with the backlog -- the saturation behaviour the paper's
+    scaling argument is about, now measurable because admission is
+    decoupled from completion.
+    """
+    return [run_concurrency_cell(shards, clients, rate, gdpr,
+                                 record_count=record_count,
+                                 operation_count=operation_count,
+                                 seed=seed)
+            for gdpr in (False, True)
+            for shards in shard_counts
+            for clients in client_counts
+            for rate in arrival_rates]
+
+
+def concurrency_table(cells: Sequence[ConcurrencyCell]) -> str:
+    rows = []
+    for cell in cells:
+        rows.append([
+            cell.shards, cell.clients, int(cell.arrival_rate),
+            "on" if cell.gdpr else "off",
+            round(cell.throughput, 1),
+            round(cell.p50_queue * 1e6, 1),
+            round(cell.p99_queue * 1e6, 1),
+            round(cell.p99_service * 1e6, 1),
+            cell.max_backlog,
+        ])
+    return render_table(
+        ["shards", "clients", "offered/s", "gdpr", "ops/s",
+         "p50 queue us", "p99 queue us", "p99 svc us", "backlog"],
         rows)
 
 

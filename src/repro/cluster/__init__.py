@@ -27,11 +27,13 @@ from .client import (
     ClusterClient,
     ClusterNode,
     ClusterStoreServer,
+    EventClusterStoreServer,
     KEYLESS_COMMANDS,
     MULTI_KEY_COMMANDS,
     Pipeline,
     build_cluster,
     command_keys,
+    parse_redirect,
 )
 from .migration import GDPRSlotMigrator, MigrationReceipt, SlotMigrator
 from .sharded_store import ShardedErasureReceipt, ShardedGDPRStore
@@ -53,9 +55,11 @@ __all__ = [
     "ClusterClient",
     "ClusterNode",
     "ClusterStoreServer",
+    "EventClusterStoreServer",
     "Pipeline",
     "build_cluster",
     "command_keys",
+    "parse_redirect",
     "KEYLESS_COMMANDS",
     "MULTI_KEY_COMMANDS",
     "GDPRSlotMigrator",

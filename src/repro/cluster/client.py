@@ -52,7 +52,14 @@ from ..common.errors import (
 )
 from ..common.resp import RespDecoder, RespError, encode, encode_command
 from ..kvstore.commands import normalize_args
-from ..kvstore.server import RawTransport, ServerConnection, StoreServer
+from ..kvstore.server import (
+    BufferedTransport,
+    EventConnection,
+    EventLoopMixin,
+    RawTransport,
+    ServerConnection,
+    StoreServer,
+)
 from ..kvstore.store import KeyValueStore, StoreConfig
 from ..net.channel import Channel, LAN_LATENCY, RAW_BANDWIDTH_BPS
 from .slots import NUM_SLOTS, SlotMap, slot_for_key
@@ -101,8 +108,13 @@ def command_keys(argv: Sequence[bytes]) -> List[bytes]:
     return list(argv[first::step])
 
 
-def _parse_redirect(reply: Any) -> Optional[RedirectError]:
-    """Recognize a MOVED/ASK wire error; None for anything else."""
+def parse_redirect(reply: Any) -> Optional[RedirectError]:
+    """Recognize a MOVED/ASK wire error; None for anything else.
+
+    Public: every redirect-following client (the pipelined
+    :class:`ClusterClient` and the open-loop driver's simulated
+    clients) must agree on what counts as a redirect.
+    """
     if not isinstance(reply, RespError):
         return None
     parts = str(reply).split()
@@ -119,28 +131,8 @@ def _parse_redirect(reply: Any) -> Optional[RedirectError]:
     return None
 
 
-class BufferedTransport:
-    """Coalesces sends into one channel transmit per :meth:`flush`.
-
-    The server writes one reply per request; wrapping its transport in
-    this buffer turns a pipelined batch's replies into a single message,
-    the same coalescing TCP gives a real pipelined connection.
-    """
-
-    def __init__(self, inner) -> None:
-        self._inner = inner
-        self._buffer: List[bytes] = []
-
-    def send(self, data: bytes) -> None:
-        self._buffer.append(data)
-
-    def flush(self) -> None:
-        if self._buffer:
-            self._inner.send(b"".join(self._buffer))
-            self._buffer.clear()
-
-    def recv_available(self) -> bytes:
-        return self._inner.recv_available()
+# Pre-rename alias.
+_parse_redirect = parse_redirect
 
 
 class ClusterStoreServer(StoreServer):
@@ -270,27 +262,115 @@ class ClusterStoreServer(StoreServer):
         return reply - imported
 
 
+class EventClusterStoreServer(EventLoopMixin, ClusterStoreServer):
+    """A shard's slot-aware RESP server running on the event loop.
+
+    Slot checking, redirects, and reply filters come from
+    :class:`ClusterStoreServer`; connection multiplexing, one-command-per-
+    tick fairness, deferred reply flushing, and the cron-as-timer-events
+    machinery come from :class:`~repro.kvstore.server.EventLoopMixin`.
+    """
+
+    def __init__(self, store: KeyValueStore, scheduler: SimClock,
+                 shard_index: int = 0,
+                 slot_map: Optional[SlotMap] = None) -> None:
+        super().__init__(store, shard_index=shard_index, slot_map=slot_map)
+        self._init_event_loop(scheduler)
+
+
 class ClusterNode:
-    """One shard: a store behind its own channel and slot-aware server."""
+    """One shard: a store behind its own channel and slot-aware server.
+
+    Two wiring modes, chosen by ``scheduler``:
+
+    * **synchronous** (``scheduler=None``): the classic closed-loop shard
+      -- :meth:`execute_batch` pumps the server inline and the channel
+      charges its clock directly;
+    * **event-driven**: the shard runs an :class:`EventClusterStoreServer`
+      on the shared ``scheduler`` timeline.  The store's own clock is the
+      shard's *service-time meter*: commands still charge their CPU/AOF
+      cost to it, but coordination happens through scheduled events, so
+      shards overlap in simulated time because their events interleave in
+      one heap -- not because anyone max()es per-shard clocks afterwards.
+    """
 
     def __init__(self, index: int, store: KeyValueStore,
                  channel: Channel,
-                 slot_map: Optional[SlotMap] = None) -> None:
+                 slot_map: Optional[SlotMap] = None,
+                 scheduler: Optional[SimClock] = None) -> None:
         self.index = index
         self.store = store
         self.clock = store.clock
         self.channel = channel
+        self.scheduler = scheduler
         client_end, server_end = channel.endpoints()
-        self.server = ClusterStoreServer(store, shard_index=index,
-                                         slot_map=slot_map)
-        self.server_out = BufferedTransport(RawTransport(server_end))
-        self.server.accept(self.server_out)
-        self._client_transport = RawTransport(client_end)
-        self._decoder = RespDecoder()
+        if scheduler is not None:
+            if not channel.event_driven:
+                raise ClusterError(
+                    "an event-driven node needs an event-driven channel")
+            self.server = EventClusterStoreServer(
+                store, scheduler, shard_index=index, slot_map=slot_map)
+            self.server.accept_endpoint(server_end)
+            self.server.start_cron()
+            self._client_endpoint = client_end
+            self._client_transport = RawTransport(client_end)
+            self._replies: List[Any] = []
+            self._decoder = RespDecoder()
+            client_end.set_receiver(self._on_reply_data)
+            self.server_out = None
+        else:
+            self.server = ClusterStoreServer(store, shard_index=index,
+                                             slot_map=slot_map)
+            self.server_out = BufferedTransport(RawTransport(server_end))
+            self.server.accept(self.server_out)
+            self._client_transport = RawTransport(client_end)
+            self._decoder = RespDecoder()
+
+    # -- event-mode plumbing -----------------------------------------------
+
+    def _on_reply_data(self) -> None:
+        self._decoder.feed(self._client_endpoint.recv())
+        self._replies.extend(self._decoder.drain())
+
+    def send_batch(self, batch: Sequence[List[bytes]]) -> None:
+        """Transmit a pipelined batch without waiting (event mode): the
+        requests travel as one message and the shard works them off its
+        own queue while other shards do the same."""
+        payload = b"".join(encode_command(*argv) for argv in batch)
+        self._client_transport.send(payload)
+
+    def await_replies(self, count: int) -> List[Any]:
+        """Drive the shared scheduler until ``count`` replies from this
+        shard have arrived (other shards' events interleave freely).
+
+        Stops on live events, not on ``run_next`` truthiness: recurring
+        daemon work (the cron) reschedules itself forever, so "the heap
+        is non-empty" can never mean "a reply is still coming".
+        """
+        while len(self._replies) < count:
+            if self.scheduler.pending_live_events() == 0:
+                raise RespError("ERR no reply received")
+            self.scheduler.run_next()
+        out = self._replies[:count]
+        del self._replies[:count]
+        return out
+
+    def connect(self) -> EventConnection:
+        """A new client connection to this shard (event mode only); the
+        open-loop generator gives each simulated client its own."""
+        if self.scheduler is None:
+            raise ClusterError(
+                "per-client connections need an event-driven node")
+        return EventConnection(self.server,
+                               bandwidth_bps=self.channel.bandwidth_bps,
+                               latency=self.channel.latency)
 
     def execute_batch(self, batch: Sequence[List[bytes]]) -> List[Any]:
         """One round trip: all requests in one transmit, all replies in
         one transmit, replies returned in request order."""
+        if self.scheduler is not None:
+            self.send_batch(batch)
+            return self.await_replies(len(batch))
         payload = b"".join(encode_command(*argv) for argv in batch)
         self._client_transport.send(payload)
         self.server.pump()
@@ -374,6 +454,23 @@ class ClusterClient:
                 f"{self.slots.num_shards - 1} but only "
                 f"{len(self.nodes)} nodes exist")
         self.clock = clock if clock is not None else SimClock()
+        # getattr: tests drive the client with duck-typed fake nodes.
+        self.event_driven = any(
+            getattr(node, "scheduler", None) is not None
+            for node in self.nodes)
+        if self.event_driven:
+            if not all(getattr(node, "scheduler", None) is not None
+                       for node in self.nodes):
+                raise ClusterError(
+                    "cannot mix event-driven and synchronous nodes")
+            schedulers = {id(node.scheduler) for node in self.nodes}
+            if len(schedulers) > 1:
+                raise ClusterError(
+                    "event-driven nodes must share one scheduler")
+            if self.nodes[0].scheduler is not self.clock:
+                raise ClusterError(
+                    "an event-driven cluster's clock must be the shared "
+                    "scheduler")
         self.max_redirects = max_redirects
         self.moved_redirects = 0
         self.ask_redirects = 0
@@ -393,6 +490,13 @@ class ClusterClient:
         """The shard this client would contact for ``key`` (its cached
         view, which may lag the authoritative map mid-migration)."""
         return self._route[slot_for_key(key)]
+
+    def learn_route(self, slot: int, shard: int) -> None:
+        """Record a durable ownership change (a ``MOVED`` reply) in the
+        routing cache, as any client sharing this view would."""
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        self._route[slot] = shard
 
     def route(self, argv: List[bytes]) -> int:
         """The shard an argv executes on (CROSSSLOT-checked)."""
@@ -474,7 +578,7 @@ class ClusterClient:
             self._round_trip(pending)
             retry: List[_Request] = []
             for entry in pending:
-                redirect = _parse_redirect(entry.reply)
+                redirect = parse_redirect(entry.reply)
                 if redirect is None:
                     continue
                 if not 0 <= redirect.shard < len(self.nodes):
@@ -488,7 +592,7 @@ class ClusterClient:
                 if isinstance(redirect, MovedError):
                     # Durable topology change: learn it, then retry.
                     self.moved_redirects += 1
-                    self._route[redirect.slot] = redirect.shard
+                    self.learn_route(redirect.slot, redirect.shard)
                     entry.shard, entry.asking = redirect.shard, False
                 else:
                     # ASK: one-shot redirect, no routing-table update.
@@ -500,7 +604,14 @@ class ClusterClient:
 
     def _round_trip(self, entries: Sequence[_Request]) -> None:
         """One concurrent round trip: every entry's request reaches its
-        shard (ASKING-prefixed where flagged) and its reply is stored."""
+        shard (ASKING-prefixed where flagged) and its reply is stored.
+
+        Event-driven clusters transmit every shard's batch *first* and
+        then drive the shared scheduler until all replies are in: shard
+        overlap is literally the interleaving of their events on one
+        heap.  Synchronous clusters serve each shard inline on its own
+        clock and take the max afterwards (the pre-event-core model).
+        """
         per_shard: Dict[int, List[Tuple[Optional[_Request],
                                         List[bytes]]]] = {}
         for entry in entries:
@@ -510,6 +621,16 @@ class ClusterClient:
             if entry.asking:
                 batch.append((None, [b"ASKING"]))
             batch.append((entry, entry.argv))
+        if self.event_driven:
+            for shard, batch in per_shard.items():
+                self.nodes[shard].send_batch(
+                    [argv for _, argv in batch])
+            for shard, batch in per_shard.items():
+                replies = self.nodes[shard].await_replies(len(batch))
+                for (entry, _), reply in zip(batch, replies):
+                    if entry is not None:
+                        entry.reply = reply
+            return
         start = self.clock.now()
         finish = start
         for shard, batch in per_shard.items():
@@ -526,7 +647,11 @@ class ClusterClient:
 
     def sync(self) -> float:
         """Bring every shard clock up to cluster time (idle shards pass
-        simulated time too); returns the synchronized time."""
+        simulated time too); returns the synchronized time.  An
+        event-driven cluster first drains in-flight (non-daemon) events
+        so nothing is mid-air when the timeline is squared up."""
+        if self.event_driven:
+            self.clock.run_until_idle()
         now = max([self.clock.now()]
                   + [node.clock.now() for node in self.nodes])
         self.clock.sleep_until(now)
@@ -550,15 +675,26 @@ def build_cluster(num_shards: int,
                   parallel: bool = True,
                   bandwidth_bps: float = RAW_BANDWIDTH_BPS,
                   latency: float = LAN_LATENCY,
-                  slot_map: Optional[SlotMap] = None) -> ClusterClient:
+                  slot_map: Optional[SlotMap] = None,
+                  event_driven: bool = False) -> ClusterClient:
     """Wire up a ready-to-use cluster.
 
-    ``parallel=True`` (the default) gives each shard its own clock so
-    batches cost max-over-shards time; ``parallel=False`` shares one clock
-    across every shard -- fully serialized, useful for tests that want a
-    single timeline.
+    ``event_driven=True`` puts every shard behind an event-loop server on
+    **one** shared scheduler clock: channels deliver bytes as scheduled
+    events, each shard executes one command per loop tick, and per-shard
+    parallelism falls out of event interleaving.  Each shard's store
+    still runs on its own clock, but that clock is now only the shard's
+    service-time meter.
+
+    Otherwise ``parallel=True`` (the default) gives each shard its own
+    clock so batches cost max-over-shards time; ``parallel=False`` shares
+    one clock across every shard -- fully serialized, useful for tests
+    that want a single timeline.
     """
     master = clock if clock is not None else SimClock()
+    if event_driven and not hasattr(master, "schedule_at"):
+        raise ClusterError(
+            "an event-driven cluster needs a scheduling clock (SimClock)")
     if slot_map is None:
         slot_map = SlotMap.even(num_shards)
     if store_factory is None:
@@ -566,14 +702,22 @@ def build_cluster(num_shards: int,
             return KeyValueStore(StoreConfig(), clock=node_clock)
     nodes = []
     for index in range(num_shards):
-        node_clock: Clock = SimClock(master.now()) if parallel else master
-        channel = Channel(clock=node_clock, bandwidth_bps=bandwidth_bps,
-                          latency=latency)
+        if event_driven:
+            node_clock: Clock = SimClock(master.now())
+            channel = Channel(clock=master, bandwidth_bps=bandwidth_bps,
+                              latency=latency, event_driven=True)
+        else:
+            node_clock = SimClock(master.now()) if parallel else master
+            channel = Channel(clock=node_clock,
+                              bandwidth_bps=bandwidth_bps,
+                              latency=latency)
         store = store_factory(index, node_clock)
         if store.clock is not node_clock:
             raise ClusterError(
                 "store_factory must build the store on the clock it is "
                 "given (shard time and channel time must agree)")
         nodes.append(ClusterNode(index, store, channel,
-                                 slot_map=slot_map))
+                                 slot_map=slot_map,
+                                 scheduler=master if event_driven
+                                 else None))
     return ClusterClient(nodes, slot_map=slot_map, clock=master)

@@ -33,7 +33,7 @@ Cross-shard invariants the migrators maintain:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from ..common.errors import MigrationError
 from ..kvstore.aof import contains_key
@@ -173,6 +173,41 @@ class _SlotMigrationBase:
         while self._pending:
             self.step(batch_size)
         return self.finish()
+
+    def run_as_events(self, clock, batch_size: int = 16,
+                      interval: float = 1e-4,
+                      on_done: Optional[Callable[[MigrationReceipt],
+                                                 None]] = None) -> None:
+        """Drive this migration from scheduled events on ``clock``: one
+        ``step(batch_size)`` per event, ``interval`` seconds apart, until
+        drained, then ``finish()``.
+
+        This is how migrations coexist with foreground traffic on the
+        event core: each step is just another event interleaved with
+        deliveries and loop ticks, and several migrators scheduled on one
+        clock progress as interleaved event streams (the ``rebalance``
+        path) instead of one slot monopolizing the timeline.
+        """
+        if not hasattr(clock, "schedule_after"):
+            raise MigrationError(
+                "event-driven migration needs a scheduling clock "
+                "(SimClock)")
+
+        def step_event() -> None:
+            if self._done:
+                return
+            if self._pending:
+                self.step(batch_size)
+            if self._pending:
+                clock.schedule_after(interval, step_event,
+                                     label=f"migrate-{self.slot}")
+            else:
+                receipt = self.finish()
+                if on_done is not None:
+                    on_done(receipt)
+
+        clock.schedule_after(interval, step_event,
+                             label=f"migrate-{self.slot}")
 
     def finish(self) -> MigrationReceipt:
         """Drain stragglers, flip slot ownership atomically, then remove

@@ -301,6 +301,87 @@ class ShardedGDPRStore:
         and audit evidence of the handoff -- to ``target`` in one call."""
         return self.begin_slot_migration(slot, target).run(batch_size)
 
+    def rebalance_plan(self, target: int) -> List[int]:
+        """The slots an even rebalance hands ``target``: a 1/num_shards
+        share of every other shard's populated slots."""
+        plan: List[int] = []
+        for index, shard in enumerate(self.shards):
+            if index == target:
+                continue
+            populated = sorted({slot_for_key(key)
+                                for key in shard.index.keys()})
+            if not populated:
+                continue
+            share = max(1, len(populated) // self.num_shards)
+            plan.extend(populated[:share])
+        return plan
+
+    def rebalance(self, target: int,
+                  slots: Optional[List[int]] = None,
+                  batch_size: int = 16,
+                  concurrency: int = 4,
+                  step_interval: float = 1e-4,
+                  drive: bool = True) -> List[MigrationReceipt]:
+        """Migrate many slots to ``target`` as *interleaved event streams*.
+
+        Up to ``concurrency`` :class:`GDPRSlotMigrator`\\ s run at once,
+        each stepping from its own scheduled events (so no slot
+        monopolizes the timeline, and live traffic -- subject rights
+        included -- keeps flowing between steps); as each slot's ownership
+        flips, the next queued slot starts.  With ``drive=True`` the
+        call runs the clock's event loop until every migration finished
+        and returns the receipts in completion order; with
+        ``drive=False`` the streams are scheduled and the caller drives
+        the clock itself (interleaving its own foreground work), reading
+        receipts off the returned list as they complete.
+        """
+        clock = self.clock
+        if not hasattr(clock, "schedule_after"):
+            raise ClusterError(
+                "rebalance needs a scheduling clock (SimClock)")
+        if not 0 <= target < self.num_shards:
+            raise ClusterError(f"target shard {target} does not exist")
+        if slots is None:
+            slots = self.rebalance_plan(target)
+        queue: List[int] = []
+        seen = set()
+        for slot in slots:
+            if slot in seen:
+                continue
+            seen.add(slot)
+            if self.slots.shard_of_slot(slot) != target:
+                queue.append(slot)
+        receipts: List[MigrationReceipt] = []
+        total = len(queue)
+        state = {"active": 0}
+
+        def finish_one(receipt: MigrationReceipt) -> None:
+            state["active"] -= 1
+            receipts.append(receipt)
+            launch()
+
+        def launch() -> None:
+            while queue and state["active"] < concurrency:
+                slot = queue.pop(0)
+                migrator = self.begin_slot_migration(slot, target)
+                state["active"] += 1
+                migrator.run_as_events(clock, batch_size=batch_size,
+                                       interval=step_interval,
+                                       on_done=finish_one)
+
+        launch()
+        if drive:
+            while len(receipts) < total:
+                # Guard on live events, not run_next() truthiness: a
+                # recurring daemon (a server cron sharing this clock)
+                # keeps the heap non-empty forever.
+                if clock.pending_live_events() == 0:
+                    raise ClusterError(
+                        "rebalance stalled: migration events exhausted "
+                        f"with {total - len(receipts)} slots unfinished")
+                clock.run_next()
+        return receipts
+
     # -- maintenance & evidence --------------------------------------------
 
     def tick(self) -> None:

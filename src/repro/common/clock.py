@@ -9,6 +9,16 @@ the audit log) takes a :class:`Clock` so that the whole stack can run in
 * **wall time** -- :class:`WallClock` -- where ``advance`` optionally sleeps,
   for demos against real hardware.
 
+:class:`SimClock` is also the repository's **discrete-event scheduler**:
+components post timed events with :meth:`SimClock.schedule_at` /
+:meth:`SimClock.schedule_after` and a driver runs them in timestamp order
+with :meth:`SimClock.run_next` / :meth:`SimClock.run_until_idle`.  The two
+styles compose: ``advance`` fires any events that fall inside the advanced
+window at their correct instants (so a component charging time inline
+interleaves correctly with scheduled deliveries), and events with equal
+timestamps fire in the order they were scheduled, which is what makes two
+identical runs produce identical event traces.
+
 The paper's evaluation ran on a specific Dell testbed; the simulated clock is
 what lets this reproduction report the *ratios* the paper reports on any
 machine (see DESIGN.md section 6).
@@ -39,50 +49,205 @@ class Clock:
             self.advance(delta)
 
 
-class SimClock(Clock):
-    """Deterministic virtual clock.
+class EventHandle:
+    """A scheduled event; :meth:`cancel` prevents it from firing.
 
-    Time only moves when a component calls :meth:`advance`.  A scheduler of
-    timer callbacks is included so background activities (active-expiry
-    cycles, everysec fsync, AOF rewrite policies) can interleave with
-    foreground work at the right simulated instants.
+    Cancellation is lazy: the entry stays in the heap and is skipped when
+    it reaches the top, so cancelling is O(1).
+    """
+
+    __slots__ = ("when", "seq", "callback", "label", "daemon", "_state",
+                 "_clock")
+
+    _PENDING, _FIRED, _CANCELLED = 0, 1, 2
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None],
+                 label: str, daemon: bool, clock: "SimClock") -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.daemon = daemon
+        self._state = self._PENDING
+        self._clock = clock
+
+    @property
+    def active(self) -> bool:
+        return self._state == self._PENDING
+
+    @property
+    def fired(self) -> bool:
+        return self._state == self._FIRED
+
+    def cancel(self) -> bool:
+        """Cancel if still pending; returns whether anything changed."""
+        if self._state != self._PENDING:
+            return False
+        self._state = self._CANCELLED
+        if not self.daemon:
+            self._clock._live_events -= 1
+        return True
+
+
+class SimClock(Clock):
+    """Deterministic virtual clock and discrete-event scheduler.
+
+    Time moves two ways, and they interleave correctly:
+
+    * a component calls :meth:`advance` to charge time inline (the
+      closed-loop style); any events due inside the advanced window fire
+      at their own instants along the way;
+    * a driver calls :meth:`run_next` / :meth:`run_until_idle` to pop
+      scheduled events in (timestamp, schedule-order) order -- the
+      discrete-event style the event-loop server and the open-loop load
+      generator are built on.
+
+    **Daemon events** (recurring background work: the expiry cron, the
+    everysec fsync) never keep :meth:`run_until_idle` alive on their own:
+    the loop stops once only daemon events remain, exactly as daemon
+    threads do not keep a process alive.
+
+    An optional **event trace** (:meth:`enable_trace`) records every fired
+    event as ``(when, label)``; two identical seeded runs must produce
+    identical traces, which the determinism tests assert.
     """
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before t=0")
         self._now = float(start)
-        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._events: List[Tuple[float, int, EventHandle]] = []
         self._timer_seq = 0
+        self._live_events = 0       # active non-daemon events in the heap
+        self.trace: Optional[List[Tuple[float, str]]] = None
 
     def now(self) -> float:
         return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule_at(self, when: float, callback: Callable[[], None],
+                    label: str = "", daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` to run when the clock reaches ``when``.
+
+        Events with equal ``when`` fire in the order they were scheduled.
+        Returns a cancellable :class:`EventHandle`.
+        """
+        if when < self._now:
+            raise ValueError("cannot schedule a timer in the past")
+        self._timer_seq += 1
+        handle = EventHandle(when, self._timer_seq, callback, label, daemon,
+                             self)
+        heapq.heappush(self._events, (when, self._timer_seq, handle))
+        if not daemon:
+            self._live_events += 1
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[[], None],
+                       label: str = "", daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule a timer in the past")
+        return self.schedule_at(self._now + delay, callback,
+                                label=label, daemon=daemon)
+
+    # Pre-event-core names, kept because every layer already uses them.
+    def call_at(self, when: float,
+                callback: Callable[[], None]) -> EventHandle:
+        return self.schedule_at(when, callback)
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> EventHandle:
+        return self.schedule_after(delay, callback)
+
+    def pending_timers(self) -> int:
+        """Number of scheduled-but-unfired events (cancelled excluded)."""
+        return sum(1 for _, _, handle in self._events if handle.active)
+
+    def pending_live_events(self) -> int:
+        """Active non-daemon events (what keeps ``run_until_idle``
+        going).  O(1): drivers poll this to tell "a reply can still
+        arrive" from "only background daemons remain"."""
+        return self._live_events
+
+    # -- running -----------------------------------------------------------
+
+    def _fire(self, handle: EventHandle) -> None:
+        handle._state = EventHandle._FIRED
+        if not handle.daemon:
+            self._live_events -= 1
+        if self.trace is not None:
+            self.trace.append((handle.when, handle.label))
+        handle.callback()
+
+    def run_next(self) -> bool:
+        """Pop and run the earliest pending event; False when none remain.
+
+        The clock jumps to the event's timestamp before the callback runs
+        (it never moves backwards).
+        """
+        while self._events:
+            when, _, handle = heapq.heappop(self._events)
+            if not handle.active:
+                continue
+            self._now = max(self._now, when)
+            self._fire(handle)
+            return True
+        return False
+
+    def run_until_idle(self, deadline: Optional[float] = None) -> int:
+        """Run events in order until only daemon events remain (or until
+        ``deadline``); returns the number of events run.
+
+        With a ``deadline``, events due at or before it run, later ones
+        stay queued, and the clock ends exactly at ``deadline`` (so a
+        bounded experiment always spans the same simulated interval).
+        """
+        ran = 0
+        while self._live_events > 0:
+            if deadline is not None and self._events:
+                upcoming = self._next_active_when()
+                if upcoming is None or upcoming > deadline:
+                    break
+            if not self.run_next():
+                break
+            ran += 1
+        if deadline is not None:
+            self.sleep_until(deadline)
+        return ran
+
+    def _next_active_when(self) -> Optional[float]:
+        while self._events:
+            when, _, handle = self._events[0]
+            if handle.active:
+                return when
+            heapq.heappop(self._events)
+        return None
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
         target = self._now + seconds
-        # Fire timers that fall inside the advanced window, in order.
-        while self._timers and self._timers[0][0] <= target:
-            when, _, callback = heapq.heappop(self._timers)
+        # Fire events that fall inside the advanced window, in order.  A
+        # callback may itself advance the clock (a nested service charge);
+        # the outer target then only applies if time has not already
+        # passed it.
+        while self._events and self._events[0][0] <= target:
+            when, _, handle = heapq.heappop(self._events)
+            if not handle.active:
+                continue
             self._now = max(self._now, when)
-            callback()
-        self._now = target
+            self._fire(handle)
+        self._now = max(self._now, target)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run when the clock reaches ``when``."""
-        if when < self._now:
-            raise ValueError("cannot schedule a timer in the past")
-        self._timer_seq += 1
-        heapq.heappush(self._timers, (when, self._timer_seq, callback))
+    # -- tracing -----------------------------------------------------------
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
-        self.call_at(self._now + delay, callback)
-
-    def pending_timers(self) -> int:
-        """Number of scheduled-but-unfired timers (for tests)."""
-        return len(self._timers)
+    def enable_trace(self) -> List[Tuple[float, str]]:
+        """Start recording fired events as ``(when, label)``; returns the
+        live trace list (also available as ``clock.trace``)."""
+        if self.trace is None:
+            self.trace = []
+        return self.trace
 
 
 class WallClock(Clock):

@@ -20,10 +20,15 @@ from .keyspace import Database, RandomAccessSet
 from .monitor import MonitorFeed
 from .replication import ReplicationLink, ReplicationManager
 from .server import (
+    BufferedTransport,
+    EventConnection,
+    EventLoopMixin,
+    EventLoopServer,
     RawTransport,
     StoreClient,
     StoreServer,
     TlsTransport,
+    connect_event,
     connect_plain,
     connect_tls,
 )
@@ -59,6 +64,11 @@ __all__ = [
     "StoreClient",
     "RawTransport",
     "TlsTransport",
+    "BufferedTransport",
+    "EventLoopMixin",
+    "EventLoopServer",
+    "EventConnection",
+    "connect_event",
     "connect_plain",
     "connect_tls",
     "snapshot_dump",

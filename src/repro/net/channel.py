@@ -1,16 +1,28 @@
 """Simulated network channels with bandwidth and latency accounting.
 
 A :class:`Channel` is a bidirectional byte pipe between two
-:class:`Endpoint` objects sharing one simulated clock.  Sending charges
-``propagation_delay + nbytes / bandwidth`` to the clock, which is how the
-TLS experiment reproduces the paper's measured bandwidth collapse
-(44 Gb/s raw -> 4.9 Gb/s through stunnel proxies).
+:class:`Endpoint` objects sharing one simulated clock.  It runs in one of
+two modes:
+
+* **inline** (the default): sending charges
+  ``propagation_delay + nbytes / bandwidth`` to the clock before the bytes
+  appear at the peer -- the closed-loop style, which is how the TLS
+  experiment reproduces the paper's measured bandwidth collapse
+  (44 Gb/s raw -> 4.9 Gb/s through stunnel proxies);
+* **event-driven** (``event_driven=True``, requires a
+  :class:`~repro.common.clock.SimClock`): sending costs the sender
+  nothing now; the bytes are *scheduled* to arrive at the peer at
+  ``serialization-done + latency``, with consecutive sends in the same
+  direction queueing behind each other at the link's bandwidth, as frames
+  do on a real NIC.  Delivery fires the receiving endpoint's receiver
+  callback, which is how the event-loop server learns a connection is
+  readable without anyone blocking.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from ..common.clock import Clock, SimClock
 from ..common.errors import ChannelClosedError
@@ -29,6 +41,7 @@ class Endpoint:
         self._side = side
         self._rx: Deque[bytes] = deque()
         self._rx_bytes = 0
+        self._receiver: Optional[Callable[[], None]] = None
 
     # -- sending -----------------------------------------------------------
 
@@ -37,9 +50,16 @@ class Endpoint:
 
     # -- receiving ---------------------------------------------------------
 
+    def set_receiver(self, callback: Optional[Callable[[], None]]) -> None:
+        """Register a readable-notification callback (event mode): it runs
+        after each delivery, and the callee drains with :meth:`recv`."""
+        self._receiver = callback
+
     def _deliver(self, data: bytes) -> None:
         self._rx.append(data)
         self._rx_bytes += len(data)
+        if self._receiver is not None:
+            self._receiver()
 
     @property
     def available(self) -> int:
@@ -82,18 +102,27 @@ class Channel:
     def __init__(self, clock: Optional[Clock] = None,
                  bandwidth_bps: float = RAW_BANDWIDTH_BPS,
                  latency: float = LAN_LATENCY,
-                 per_message_overhead: float = 0.0) -> None:
+                 per_message_overhead: float = 0.0,
+                 event_driven: bool = False) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         if latency < 0 or per_message_overhead < 0:
             raise ValueError("delays cannot be negative")
         self.clock = clock if clock is not None else SimClock()
+        if event_driven and not hasattr(self.clock, "schedule_at"):
+            raise ValueError(
+                "event-driven channels need a scheduling clock (SimClock)")
         self.bandwidth_bps = bandwidth_bps
         self.latency = latency
         self.per_message_overhead = per_message_overhead
+        self.event_driven = event_driven
         self.closed = False
         self.messages = 0
         self.bytes_transferred = 0
+        # Per-direction link occupancy (event mode): a transmit may not
+        # start serializing before the previous one in that direction has
+        # left the NIC.
+        self._link_free_at = [0.0, 0.0]
         self._ends = (Endpoint(self, 0), Endpoint(self, 1))
 
     def endpoints(self) -> tuple:
@@ -103,12 +132,26 @@ class Channel:
     def transmit(self, from_side: int, data: bytes) -> None:
         if self.closed:
             raise ChannelClosedError("channel is closed")
-        cost = (self.latency + self.per_message_overhead
-                + len(data) / self.bandwidth_bps)
-        self.clock.advance(cost)
         self.messages += 1
         self.bytes_transferred += len(data)
-        self._ends[1 - from_side]._deliver(data)
+        if not self.event_driven:
+            cost = (self.latency + self.per_message_overhead
+                    + len(data) / self.bandwidth_bps)
+            self.clock.advance(cost)
+            self._ends[1 - from_side]._deliver(data)
+            return
+        # Event mode: the sender is not blocked; the bytes serialize onto
+        # the link after any earlier transmit in this direction, then
+        # propagate.  Delivery is a scheduled event at the receiver.
+        serialize = (self.per_message_overhead
+                     + len(data) / self.bandwidth_bps)
+        start = max(self.clock.now(), self._link_free_at[from_side])
+        done = start + serialize
+        self._link_free_at[from_side] = done
+        peer = self._ends[1 - from_side]
+        self.clock.schedule_at(done + self.latency,
+                               lambda: peer._deliver(data),
+                               label=f"deliver[{1 - from_side}]")
 
     def close(self) -> None:
         self.closed = True
@@ -123,3 +166,9 @@ def loopback(clock: Optional[Clock] = None) -> Channel:
     """A raw (unproxied) channel at the testbed's 44 Gb/s."""
     return Channel(clock=clock, bandwidth_bps=RAW_BANDWIDTH_BPS,
                    latency=LAN_LATENCY)
+
+
+def event_loopback(clock: Clock) -> Channel:
+    """An event-driven raw channel on a scheduling clock."""
+    return Channel(clock=clock, bandwidth_bps=RAW_BANDWIDTH_BPS,
+                   latency=LAN_LATENCY, event_driven=True)

@@ -19,6 +19,11 @@ from .distributions import (
     zeta,
 )
 from .generator import FieldGenerator, build_key_name, flatten_fields
+from .openloop import (
+    ArrivalProcess,
+    OpenLoopReport,
+    OpenLoopRunner,
+)
 from .runner import RunReport, WorkloadRunner, load_and_run
 from .workloads import (
     CORE_WORKLOADS,
@@ -62,4 +67,7 @@ __all__ = [
     "RunReport",
     "WorkloadRunner",
     "load_and_run",
+    "ArrivalProcess",
+    "OpenLoopReport",
+    "OpenLoopRunner",
 ]

@@ -4,13 +4,19 @@ The runner is closed-loop, like one YCSB thread: it issues the next
 operation when the previous one completes.  Latency is read from the
 store's clock, so under a :class:`~repro.common.clock.SimClock` the
 reported throughput is *simulated* throughput -- deterministic and
-host-independent (see DESIGN.md section 6).
+host-independent (see DESIGN.md section 6).  The open-loop counterpart
+(admission at a configured arrival rate, queueing delay measured apart
+from service time) lives in :mod:`repro.ycsb.openloop`.
+
+Nothing here touches wall time: every random stream is derived from one
+explicit seeded RNG and all timestamps come from the injected clock, so
+two runs with the same seed are byte-for-byte identical under a
+:class:`~repro.common.clock.SimClock`.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -29,6 +35,21 @@ from .generator import FieldGenerator, build_key_name
 from .workloads import WorkloadSpec
 
 
+def make_chooser(spec: WorkloadSpec, insert_counter: CounterGenerator,
+                 rng: random.Random) -> NumberGenerator:
+    """The key chooser a workload spec calls for, on an explicit RNG.
+
+    Shared by the closed-loop runner and the open-loop driver so the
+    request-distribution wiring cannot drift between the two.
+    """
+    dist = spec.request_distribution
+    if dist == "uniform":
+        return UniformGenerator(0, spec.record_count - 1, rng=rng)
+    if dist == "latest":
+        return SkewedLatestGenerator(insert_counter, rng=rng)
+    return ScrambledZipfianGenerator(0, spec.record_count - 1, rng=rng)
+
+
 @dataclass
 class RunReport:
     """What YCSB prints per phase: overall + per-operation summaries."""
@@ -36,7 +57,9 @@ class RunReport:
     phase: str
     operations: int
     sim_elapsed: float
-    wall_elapsed: float
+    # Retained for report compatibility; the runner no longer reads the
+    # host's clock (wall time has no place in a deterministic run).
+    wall_elapsed: float = 0.0
     histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
     failures: int = 0
 
@@ -68,6 +91,9 @@ class WorkloadRunner:
         self.adapter = adapter
         self.spec = spec
         self.clock = clock
+        # One root RNG; every stream (field payloads, key chooser, op
+        # mix, scan lengths) is derived from it, so a single seed pins
+        # the whole run.
         self._rng = random.Random(seed)
         self.fields = FieldGenerator(spec.field_count, spec.field_length,
                                      seed=seed)
@@ -77,20 +103,16 @@ class WorkloadRunner:
         self.insert_counter = (insert_counter if insert_counter is not None
                                else CounterGenerator(spec.record_count))
         self._chooser = self._make_chooser()
-        self._op_mix = DiscreteGenerator(list(spec.operation_mix()),
-                                         rng=random.Random(seed + 1))
-        self._scan_length = UniformGenerator(1, spec.max_scan_length,
-                                             rng=random.Random(seed + 2))
+        self._op_mix = DiscreteGenerator(
+            list(spec.operation_mix()),
+            rng=random.Random(self._rng.randrange(1 << 30)))
+        self._scan_length = UniformGenerator(
+            1, spec.max_scan_length,
+            rng=random.Random(self._rng.randrange(1 << 30)))
 
     def _make_chooser(self) -> NumberGenerator:
-        dist = self.spec.request_distribution
-        rng = random.Random(self._rng.randrange(1 << 30))
-        if dist == "uniform":
-            return UniformGenerator(0, self.spec.record_count - 1, rng=rng)
-        if dist == "latest":
-            return SkewedLatestGenerator(self.insert_counter, rng=rng)
-        return ScrambledZipfianGenerator(0, self.spec.record_count - 1,
-                                         rng=rng)
+        return make_chooser(self.spec, self.insert_counter,
+                            random.Random(self._rng.randrange(1 << 30)))
 
     def _next_existing_key(self) -> str:
         keynum = self._chooser.next_value()
@@ -103,7 +125,6 @@ class WorkloadRunner:
     def load(self) -> RunReport:
         """Insert ``record_count`` records (the Load-* bars of Figure 1)."""
         sim_start = self.clock.now()
-        wall_start = time.monotonic()
         hist = LatencyHistogram()
         for keynum in range(self.spec.record_count):
             began = self.clock.now()
@@ -115,7 +136,6 @@ class WorkloadRunner:
             phase=f"Load-{self.spec.name}",
             operations=self.spec.record_count,
             sim_elapsed=self.clock.now() - sim_start,
-            wall_elapsed=time.monotonic() - wall_start,
             histograms={"insert": hist})
 
     def run(self, operation_count: Optional[int] = None) -> RunReport:
@@ -123,7 +143,6 @@ class WorkloadRunner:
         total = (operation_count if operation_count is not None
                  else self.spec.operation_count)
         sim_start = self.clock.now()
-        wall_start = time.monotonic()
         histograms: Dict[str, LatencyHistogram] = {}
         failures = 0
         for _ in range(total):
@@ -139,7 +158,6 @@ class WorkloadRunner:
         return RunReport(
             phase=self.spec.name, operations=total,
             sim_elapsed=self.clock.now() - sim_start,
-            wall_elapsed=time.monotonic() - wall_start,
             histograms=histograms, failures=failures)
 
     def _execute(self, op: str) -> None:

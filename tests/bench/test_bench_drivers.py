@@ -150,3 +150,43 @@ class TestHeadlineStats:
         assert stats["storage_related_articles"] == 31
         assert 0.31 <= stats["storage_share"] <= 0.32
         assert stats["table1_rows"] == 13
+
+
+class TestConcurrencyScenario:
+    """The acceptance shape of the open-loop `concurrency` scenario."""
+
+    def _cell(self, clients, rate, shards=1, gdpr=False, seed=42):
+        from repro.bench.scaling import run_concurrency_cell
+        return run_concurrency_cell(
+            shards, clients, rate, gdpr, record_count=40,
+            operation_count=200, seed=seed)
+
+    def test_throughput_rises_with_clients_to_the_ceiling(self):
+        from repro.bench.calibration import BASE_COMMAND_CPU
+        one = self._cell(clients=1, rate=80_000.0)
+        four = self._cell(clients=4, rate=80_000.0)
+        sixteen = self._cell(clients=16, rate=80_000.0)
+        assert four.throughput > one.throughput * 1.4
+        ceiling = 1.0 / BASE_COMMAND_CPU
+        assert sixteen.throughput == pytest.approx(ceiling, rel=0.2)
+        assert sixteen.throughput <= ceiling * 1.01
+
+    def test_p99_queue_grows_past_saturation(self):
+        below = self._cell(clients=8, rate=15_000.0)
+        above = self._cell(clients=8, rate=80_000.0)
+        assert above.p99_queue > 10 * max(below.p99_queue, 1e-9)
+
+    def test_same_seed_identical_cells(self):
+        assert self._cell(clients=4, rate=60_000.0) \
+            == self._cell(clients=4, rate=60_000.0)
+
+    def test_gdpr_lowers_the_ceiling(self):
+        off = self._cell(clients=8, rate=60_000.0, gdpr=False)
+        on = self._cell(clients=8, rate=60_000.0, gdpr=True)
+        assert on.throughput < off.throughput
+
+    def test_table_renders(self):
+        from repro.bench.scaling import concurrency_table
+        table = concurrency_table([self._cell(clients=2,
+                                              rate=30_000.0)])
+        assert "p99 queue us" in table

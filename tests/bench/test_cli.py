@@ -65,4 +65,4 @@ class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
                                     "micro", "ablations", "scaling",
-                                    "resharding"}
+                                    "resharding", "concurrency"}

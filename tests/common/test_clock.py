@@ -88,6 +88,127 @@ class TestSimClock:
         assert order == [1, 2]
 
 
+class TestEventScheduler:
+    def test_equal_timestamps_fire_in_schedule_order(self):
+        clock = SimClock()
+        order = []
+        for tag in ("a", "b", "c", "d"):
+            clock.schedule_at(1.0, lambda tag=tag: order.append(tag))
+        clock.run_until_idle()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_run_next_single_steps(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(2.0, lambda: fired.append(2))
+        clock.schedule_at(1.0, lambda: fired.append(1))
+        assert clock.run_next() is True
+        assert fired == [1]
+        assert clock.now() == 1.0
+        assert clock.run_next() is True
+        assert fired == [1, 2]
+        assert clock.run_next() is False
+
+    def test_cancelled_event_never_fires(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule_at(1.0, lambda: fired.append("no"))
+        clock.schedule_at(2.0, lambda: fired.append("yes"))
+        assert handle.cancel() is True
+        assert handle.cancel() is False     # idempotent
+        clock.run_until_idle()
+        assert fired == ["yes"]
+        assert clock.pending_timers() == 0
+
+    def test_cancelled_timer_skipped_by_advance(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.call_at(1.0, lambda: fired.append(True))
+        handle.cancel()
+        clock.advance(2.0)
+        assert fired == []
+
+    def test_daemon_events_do_not_keep_loop_alive(self):
+        clock = SimClock()
+        beats = []
+
+        def heartbeat():
+            beats.append(clock.now())
+            clock.schedule_after(1.0, heartbeat, daemon=True)
+
+        clock.schedule_after(1.0, heartbeat, daemon=True)
+        clock.schedule_at(3.5, lambda: None)      # the only real work
+        clock.run_until_idle()
+        # The daemon fired while real work was pending, then stopped
+        # keeping the loop alive.
+        assert beats == [1.0, 2.0, 3.0]
+        assert clock.now() == 3.5
+
+    def test_run_until_idle_with_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(1.0, lambda: fired.append(1))
+        clock.schedule_at(5.0, lambda: fired.append(5))
+        ran = clock.run_until_idle(deadline=2.0)
+        assert ran == 1
+        assert fired == [1]
+        assert clock.now() == 2.0             # lands exactly on deadline
+        clock.run_until_idle()
+        assert fired == [1, 5]
+
+    def test_events_scheduled_during_advance_fire_in_window(self):
+        clock = SimClock()
+        order = []
+
+        def first():
+            order.append(("first", clock.now()))
+            clock.schedule_at(1.5, lambda: order.append(
+                ("nested", clock.now())))
+
+        clock.schedule_at(1.0, first)
+        clock.advance(2.0)
+        assert order == [("first", 1.0), ("nested", 1.5)]
+        assert clock.now() == 2.0
+
+    def test_nested_advance_never_moves_backwards(self):
+        clock = SimClock()
+
+        def overshoot():
+            clock.advance(5.0)    # a service charge inside the window
+
+        clock.schedule_at(1.0, overshoot)
+        clock.advance(2.0)
+        assert clock.now() == 6.0
+
+    def test_identical_runs_produce_identical_traces(self):
+        import random
+
+        def run():
+            clock = SimClock()
+            trace = clock.enable_trace()
+            rng = random.Random(7)
+
+            def burst():
+                for _ in range(3):
+                    delay = rng.random()
+                    clock.schedule_after(delay, lambda: None,
+                                         label=f"work-{delay:.6f}")
+
+            clock.schedule_at(0.5, burst, label="burst")
+            clock.schedule_at(1.0, burst, label="burst")
+            clock.run_until_idle()
+            return trace
+
+        assert run() == run()
+
+    def test_pending_live_events_excludes_daemons(self):
+        clock = SimClock()
+        clock.schedule_at(1.0, lambda: None, daemon=True)
+        clock.schedule_at(1.0, lambda: None)
+        assert clock.pending_live_events() == 1
+        assert clock.pending_timers() == 2
+
+
 class TestWallClock:
     def test_now_monotonic(self):
         clock = WallClock()

@@ -1,0 +1,158 @@
+"""Tests for the event-loop server: multiplexing, fairness, cron events."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.resp import RespError
+from repro.kvstore import (
+    EventLoopServer,
+    KeyValueStore,
+    StoreConfig,
+    connect_event,
+)
+
+
+def make_server(cpu_cost=25e-6, scheduler=None, connections=2, **config):
+    store_clock = SimClock()
+    store = KeyValueStore(
+        StoreConfig(command_cpu_cost=cpu_cost, **config),
+        clock=store_clock)
+    server, conns = connect_event(store, scheduler=scheduler,
+                                  connections=connections)
+    return server, conns
+
+
+class TestEventLoopBasics:
+    def test_closed_loop_call_round_trips(self):
+        server, (conn, _) = make_server()
+        assert conn.call("SET", "k", "v") == "OK"
+        assert conn.call("GET", "k") == b"v"
+
+    def test_error_replies_raise(self):
+        server, (conn, _) = make_server()
+        conn.call("SET", "k", "v")
+        with pytest.raises(RespError):
+            conn.call("INCR", "k")
+
+    def test_two_connections_share_one_store(self):
+        server, (one, two) = make_server()
+        one.call("SET", "shared", "1")
+        assert two.call("GET", "shared") == b"1"
+
+    def test_pipelined_replies_come_back_in_order(self):
+        server, (conn, _) = make_server()
+        for index in range(10):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) == ["OK"] * 10
+        conn.replies.clear()
+        for index in range(10):
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) == [str(i).encode() for i in range(10)]
+
+    def test_service_time_charged_per_command(self):
+        server, (conn, _) = make_server(cpu_cost=1e-3)
+        began = server.scheduler.now()
+        conn.call("SET", "k", "v")
+        assert server.scheduler.now() - began >= 1e-3
+
+    def test_foreign_clock_channel_rejected(self):
+        from repro.kvstore.server import EventConnection
+        from repro.net.channel import Channel
+
+        server, _ = make_server()
+        stray = Channel(clock=SimClock(), event_driven=True)
+        with pytest.raises(ValueError, match="scheduler"):
+            EventConnection(server, channel=stray)
+
+    def test_separate_meter_clock(self):
+        scheduler = SimClock()
+        store = KeyValueStore(StoreConfig(command_cpu_cost=1e-3),
+                              clock=SimClock())
+        server, (conn,) = connect_event(store, scheduler=scheduler,
+                                        connections=1)
+        conn.call("SET", "k", "v")
+        assert store.clock.now() >= 1e-3
+        assert scheduler.now() >= 1e-3
+
+
+class TestFairness:
+    def test_flood_cannot_starve_neighbour(self):
+        """One command per loop tick, round-robin: a connection that
+        pipelines a flood finishes *after* a neighbour's single op."""
+        server, (flood, single) = make_server()
+        finishes = {}
+        flood.on_reply = lambda _: finishes.setdefault(
+            "flood", []).append(server.scheduler.now())
+        single.on_reply = lambda _: finishes.setdefault(
+            "single", []).append(server.scheduler.now())
+        for _ in range(8):
+            flood.send_command("SET", "a", "1")
+        single.send_command("SET", "b", "2")
+        server.scheduler.run_until_idle()
+        assert len(finishes["flood"]) == 8
+        assert len(finishes["single"]) == 1
+        # The single op completed after at most two flood ops, not all 8.
+        assert finishes["single"][0] < finishes["flood"][2]
+
+    def test_round_robin_alternates_across_n_connections(self):
+        server, conns = make_server(connections=4)
+        order = []
+        original = server._serve
+
+        def spy(conn, request):
+            order.append(server.connections.index(conn))
+            return original(conn, request)
+
+        server._serve = spy
+        for conn in conns:
+            for _ in range(3):
+                conn.send_command("PING")
+        server.scheduler.run_until_idle()
+        # Requests from 4 connections interleave 0,1,2,3,0,1,2,3,...
+        assert order[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_loop_iterations_counted(self):
+        server, (conn, _) = make_server()
+        for _ in range(5):
+            conn.send_command("PING")
+        server.scheduler.run_until_idle()
+        assert server.loop_iterations == 5
+
+
+class TestCronEvents:
+    def test_cron_expires_keys_from_daemon_events(self):
+        scheduler = SimClock()
+        store = KeyValueStore(
+            StoreConfig(command_cpu_cost=25e-6,
+                        expiry_strategy="fullscan"),
+            clock=scheduler)
+        server, (conn,) = connect_event(store, connections=1)
+        server.start_cron()
+        conn.call("SET", "doomed", "v")
+        conn.call("PEXPIRE", "doomed", 50)
+        # Post a marker event past the deadline; cron daemons fire along
+        # the way but never keep the loop alive themselves.
+        scheduler.schedule_at(scheduler.now() + 1.0, lambda: None)
+        scheduler.run_until_idle()
+        assert conn.call("GET", "doomed") is None
+        assert store.stats.expired_keys == 1
+
+    def test_stop_cron_cancels_the_timer(self):
+        server, _ = make_server()
+        server.start_cron()
+        assert server._cron_handle.active
+        server.stop_cron()
+        assert server._cron_handle is None
+        assert server.scheduler.pending_timers() == 0
+
+    def test_monitor_feed_streams_over_event_loop(self):
+        server, (watcher, worker) = make_server()
+        assert watcher.call("MONITOR") == "OK"
+        stream = []
+        watcher.on_raw = stream.append   # MONITOR is a raw text feed
+        worker.call("SET", "k", "v")
+        server.scheduler.run_until_idle()
+        feed = b"".join(stream)
+        assert b"SET" in feed and b'"k"' in feed

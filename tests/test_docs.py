@@ -27,6 +27,49 @@ def test_canonical_command_extracted():
     assert "pytest" in command
 
 
+def test_lost_required_section_is_detected(tmp_path):
+    """Deleting the Execution model section (or the concurrency scenario
+    docs) must fail the check."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "ROADMAP.md").write_text(
+        "**Tier-1 verify:** `PYTHONPATH=src python -m pytest -x -q`\n")
+    (tmp_path / "README.md").write_text(
+        "```\nPYTHONPATH=src python -m pytest -x -q\n```\n"
+        "[a](docs/architecture.md) [b](docs/benchmarks.md)\n")
+    (tmp_path / "docs" / "architecture.md").write_text("# Architecture\n")
+    (tmp_path / "docs" / "benchmarks.md").write_text(
+        "# Benchmarks\n\n| `concurrency` | open loop |\n")
+    violations = check_docs.check(tmp_path)
+    assert any("Execution model" in v for v in violations)
+    assert not any("concurrency" in v for v in violations)
+
+
+def test_undocumented_bench_scenario_is_detected(tmp_path):
+    """A scenario registered in the bench CLI but absent from
+    docs/benchmarks.md must fail the check."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "ROADMAP.md").write_text(
+        "**Tier-1 verify:** `PYTHONPATH=src python -m pytest -x -q`\n")
+    (tmp_path / "README.md").write_text(
+        "[b](docs/benchmarks.md)\n"
+        "```\nPYTHONPATH=src python -m pytest -x -q\n```\n")
+    (tmp_path / "docs" / "benchmarks.md").write_text(
+        "# Benchmarks\n\n| `oldthing` | documented |\n")
+    bench = tmp_path / "src" / "repro" / "bench"
+    bench.mkdir(parents=True)
+    (bench / "__main__.py").write_text(
+        'EXPERIMENTS = {\n    "oldthing": run_old,\n'
+        '    "newthing": run_new,\n}\n')
+    violations = check_docs.check(tmp_path)
+    assert any("newthing" in v for v in violations)
+    assert not any("oldthing" in v for v in violations)
+
+
+def test_registered_scenarios_parsed_from_cli():
+    names = check_docs.bench_scenarios(ROOT)
+    assert "concurrency" in names and "figure1" in names
+
+
 def test_drift_is_detected(tmp_path):
     """The checker is not a rubber stamp: a paraphrased verify command
     in README must be flagged."""

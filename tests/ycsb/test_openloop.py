@@ -1,0 +1,189 @@
+"""Tests for the open-loop load generator over the event core."""
+
+import random
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.common.errors import ClusterError
+from repro.kvstore.store import KeyValueStore, StoreConfig
+from repro.ycsb import (
+    ArrivalProcess,
+    OpenLoopRunner,
+    WORKLOAD_B,
+    WORKLOAD_E,
+)
+
+CPU = 25e-6          # service ceiling = 1/CPU = 40 kops/s
+
+
+def cpu_factory(index, clock):
+    return KeyValueStore(StoreConfig(command_cpu_cost=CPU, seed=index),
+                         clock=clock)
+
+
+def run_openloop(shards=1, clients=4, rate=60_000.0, ops=300,
+                 records=60, seed=42, distribution="poisson"):
+    cluster = build_cluster(shards, store_factory=cpu_factory,
+                            event_driven=True, latency=10e-6)
+    spec = WORKLOAD_B.scaled(record_count=records, operation_count=ops)
+    runner = OpenLoopRunner(cluster, spec, clients=clients,
+                            arrival_rate=rate,
+                            arrival_distribution=distribution, seed=seed)
+    runner.preload()
+    return runner.run(ops)
+
+
+class TestArrivalProcess:
+    def test_uniform_interarrivals_are_constant(self):
+        process = ArrivalProcess(1000.0, "uniform")
+        assert [process.next_interarrival() for _ in range(3)] \
+            == [1e-3, 1e-3, 1e-3]
+
+    def test_poisson_interarrivals_are_seeded(self):
+        one = ArrivalProcess(1000.0, "poisson", rng=random.Random(7))
+        two = ArrivalProcess(1000.0, "poisson", rng=random.Random(7))
+        assert [one.next_interarrival() for _ in range(10)] \
+            == [two.next_interarrival() for _ in range(10)]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(0.0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(10.0, "bursty")
+
+
+class TestOpenLoopRunner:
+    def test_all_admitted_operations_complete(self):
+        report = run_openloop(ops=200)
+        assert report.admitted == 200
+        assert report.completed == 200
+        assert report.failures == 0
+
+    def test_queue_and_service_measured_separately(self):
+        report = run_openloop(clients=1, rate=60_000.0)
+        # Saturated single client: ops wait in the backlog (queueing
+        # delay) far longer than they spend in service.
+        assert report.queue_delay.count == report.completed
+        assert report.service_time.count == report.completed
+        assert report.queue_delay.percentile(99) \
+            > report.service_time.percentile(99)
+
+    def test_throughput_rises_with_clients_until_ceiling(self):
+        """The acceptance shape: more clients help until the shard's
+        service-time ceiling, then stop helping."""
+        tput = {clients: run_openloop(clients=clients).throughput
+                for clients in (1, 2, 16)}
+        assert tput[2] > tput[1] * 1.5
+        ceiling = 1.0 / CPU
+        assert tput[16] == pytest.approx(ceiling, rel=0.15)
+        assert tput[16] <= ceiling * 1.01
+
+    def test_p99_queueing_grows_past_saturation(self):
+        below = run_openloop(clients=8, rate=20_000.0)
+        above = run_openloop(clients=8, rate=80_000.0)
+        assert above.throughput <= 1.0 / CPU * 1.01
+        assert above.queue_delay.percentile(99) \
+            > 10 * max(below.queue_delay.percentile(99), 1e-9)
+        assert above.max_backlog > below.max_backlog
+
+    def test_two_shards_raise_the_ceiling(self):
+        one = run_openloop(shards=1, clients=16, rate=100_000.0)
+        two = run_openloop(shards=2, clients=16, rate=100_000.0)
+        assert two.throughput > one.throughput * 1.2
+
+    def test_same_seed_identical_reports(self):
+        one = run_openloop().summary()
+        two = run_openloop().summary()
+        assert one == two
+
+    def test_same_seed_identical_event_traces(self):
+        def trace():
+            cluster = build_cluster(2, store_factory=cpu_factory,
+                                    event_driven=True, latency=10e-6)
+            out = cluster.clock.enable_trace()
+            spec = WORKLOAD_B.scaled(record_count=40,
+                                     operation_count=120)
+            runner = OpenLoopRunner(cluster, spec, clients=4,
+                                    arrival_rate=50_000.0, seed=11)
+            runner.preload()
+            runner.run(120)
+            return out
+
+        assert trace() == trace()
+
+    def test_different_seeds_differ(self):
+        assert run_openloop(seed=1).summary() \
+            != run_openloop(seed=2).summary()
+
+    def test_zero_operations_admits_nothing(self):
+        cluster = build_cluster(1, store_factory=cpu_factory,
+                                event_driven=True)
+        spec = WORKLOAD_B.scaled(record_count=20, operation_count=50)
+        runner = OpenLoopRunner(cluster, spec, clients=2,
+                                arrival_rate=10_000.0)
+        runner.preload()
+        report = runner.run(0)
+        assert report.admitted == 0
+        assert report.completed == 0
+
+    def test_uniform_arrivals_supported(self):
+        report = run_openloop(distribution="uniform", rate=30_000.0,
+                              ops=150)
+        assert report.completed == 150
+
+    def test_rejects_closed_loop_cluster(self):
+        cluster = build_cluster(1)
+        with pytest.raises(ClusterError):
+            OpenLoopRunner(cluster, WORKLOAD_B)
+
+    def test_rejects_scan_workloads(self):
+        cluster = build_cluster(1, event_driven=True)
+        with pytest.raises(ValueError):
+            OpenLoopRunner(cluster, WORKLOAD_E)
+
+    def test_inserts_extend_the_keyspace(self):
+        cluster = build_cluster(1, store_factory=cpu_factory,
+                                event_driven=True)
+        spec = WORKLOAD_B.scaled(record_count=50, operation_count=200)
+        spec = spec.__class__(**{**spec.__dict__,
+                                 "name": "insert-heavy",
+                                 "read_proportion": 0.5,
+                                 "update_proportion": 0.0,
+                                 "insert_proportion": 0.5})
+        runner = OpenLoopRunner(cluster, spec, clients=4,
+                                arrival_rate=50_000.0, seed=3)
+        runner.preload()
+        report = runner.run(200)
+        assert report.completed == 200
+        assert runner.insert_counter.last_value() > 50
+
+
+class TestOpenLoopAcrossMigration:
+    def test_load_keeps_flowing_across_a_live_migration(self):
+        """Open-loop traffic follows MOVED/ASK redirects while slots
+        migrate under it."""
+        from repro.cluster import SlotMigrator, slot_for_key
+        from repro.ycsb.generator import build_key_name
+
+        cluster = build_cluster(2, store_factory=cpu_factory,
+                                event_driven=True, latency=10e-6)
+        spec = WORKLOAD_B.scaled(record_count=60, operation_count=250)
+        runner = OpenLoopRunner(cluster, spec, clients=4,
+                                arrival_rate=50_000.0, seed=5)
+        runner.preload()
+        # Migrate every slot shard 0 owns among the loaded keys to
+        # shard 1, stepping as events interleaved with the run.
+        slots = sorted({slot_for_key(build_key_name(n))
+                        for n in range(60)})
+        slots = [slot for slot in slots
+                 if cluster.slots.shard_of_slot(slot) == 0][:5]
+        for slot in slots:
+            SlotMigrator(cluster, slot, 1).run_as_events(
+                cluster.clock, batch_size=2, interval=2e-4)
+        report = runner.run(250)
+        assert report.completed == 250
+        assert report.failures == 0
+        for slot in slots:
+            assert cluster.slots.shard_of_slot(slot) == 1
+        assert report.redirects_followed > 0

@@ -9,7 +9,13 @@ Checks, against ROADMAP.md's canonical tier-1 verify command:
    verify command (sets PYTHONPATH and invokes pytest without selecting
    a subpath) must match it exactly -- no paraphrased variants;
 3. every docs file README.md links to must exist, and every doc must be
-   reachable from README.md (no orphaned docs).
+   reachable from README.md (no orphaned docs);
+4. load-bearing sections stay present: docs/architecture.md must keep
+   its "Execution model" section (closed-loop vs open-loop is the
+   contract the ycsb/bench layers are written against), and
+   docs/benchmarks.md must mention every scenario the bench CLI
+   registers (the EXPERIMENTS keys parsed out of
+   src/repro/bench/__main__.py, `concurrency` included).
 
 Run from the repository root (CI does), or pass the root as argv[1].
 Exits non-zero listing each violation.
@@ -24,6 +30,34 @@ import sys
 VERIFY_RE = re.compile(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`")
 FENCE_RE = re.compile(r"^```")
 LINK_RE = re.compile(r"\]\((docs/[A-Za-z0-9_.-]+\.md)\)")
+
+# Sections/mentions a doc must keep (drift check 4).  Each entry:
+# doc path -> list of (required substring, why it is load-bearing).
+REQUIRED_DOC_CONTENT = {
+    "docs/architecture.md": [
+        ("## Execution model",
+         "the closed-loop vs open-loop contract the ycsb/bench layers "
+         "are written against"),
+    ],
+}
+
+# The bench CLI's experiment registry; every key must be documented in
+# docs/benchmarks.md (parsed textually so this script stays stdlib-only
+# and runnable without PYTHONPATH).
+EXPERIMENTS_RE = re.compile(r"^EXPERIMENTS\s*=\s*\{(.*?)\}", re.S | re.M)
+EXPERIMENT_KEY_RE = re.compile(r'"([a-z0-9_]+)"\s*:')
+
+
+def bench_scenarios(root: pathlib.Path) -> list:
+    """The scenario names the bench CLI registers (empty if the module
+    moved -- the structure check below flags that)."""
+    path = root / "src" / "repro" / "bench" / "__main__.py"
+    if not path.exists():
+        return []
+    match = EXPERIMENTS_RE.search(path.read_text())
+    if match is None:
+        return []
+    return EXPERIMENT_KEY_RE.findall(match.group(1))
 
 
 def canonical_verify_command(root: pathlib.Path) -> str:
@@ -78,6 +112,22 @@ def check(root: pathlib.Path) -> list:
                     f"command drifted from ROADMAP.md:\n"
                     f"    found:     {line}\n"
                     f"    canonical: {verify}")
+
+    requirements = {rel: list(needs)
+                    for rel, needs in REQUIRED_DOC_CONTENT.items()}
+    requirements.setdefault("docs/benchmarks.md", []).extend(
+        (f"`{name}`", "a scenario the bench CLI registers")
+        for name in bench_scenarios(root))
+    for rel, needs in requirements.items():
+        path = root / rel
+        if not path.exists():
+            violations.append(f"{rel} is missing")
+            continue
+        text = path.read_text()
+        for needle, why in needs:
+            if needle not in text:
+                violations.append(
+                    f"{rel} lost required content {needle!r} ({why})")
 
     linked = set(LINK_RE.findall(readme_text))
     for target in sorted(linked):
