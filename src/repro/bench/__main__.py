@@ -31,8 +31,11 @@ from .reporting import render_table
 from .scaling import (
     concurrency_table,
     erasure_fanout,
+    replicated_erasure_fanout,
+    replication_table,
     resharding_table,
     run_concurrency,
+    run_replication,
     run_resharding_sweep,
     run_scaling,
     scaling_table,
@@ -174,6 +177,38 @@ def run_concurrency_cmd(args: argparse.Namespace) -> None:
           "backlog -- not throughput -- absorbs extra offered load.")
 
 
+def run_replication_cmd(args: argparse.Namespace) -> None:
+    _print_header("Replication -- per-shard replica groups, erasure "
+                  "horizon across every copy")
+    shard_counts = ((1, 2, 4) if args.full else (1, 2)) \
+        if args.shards is None else (args.shards,)
+    replica_counts = (1, 2) if args.replicas is None \
+        else (args.replicas,)
+    cells = run_replication(shard_counts=shard_counts,
+                            replica_counts=replica_counts,
+                            record_count=args.records,
+                            operation_count=args.ops)
+    print(replication_table(cells))
+    print("\n'hz pXX' = erasure horizon: simulated ms from a DEL on the "
+          "primary until the key\nis invisible on every primary and "
+          "every replica of every shard; 'stale frac' =\nfraction of a "
+          "replica-read sample that raced an in-flight write.")
+    print("\nArt. 17 erasure through replicas (timer-pumped, "
+          "shared keystore):")
+    rows = replicated_erasure_fanout(
+        shard_counts=shard_counts,
+        replicas=2 if args.replicas is None else args.replicas,
+        subject_keys=max(20, args.records // 5))
+    print(render_table(
+        ["shards", "total replicas", "keys_erased", "erase_ms",
+         "horizon_ms", "crypto"],
+        [[int(r["shards"]), int(r["total_replicas"]),
+          int(r["keys_erased"]),
+          round(r["erase_seconds"] * 1e3, 3),
+          round(r["horizon_seconds"] * 1e3, 3),
+          bool(r["crypto_erased"])] for r in rows]))
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "figure1": run_fig1,
@@ -183,6 +218,7 @@ EXPERIMENTS = {
     "scaling": run_scaling_cmd,
     "resharding": run_resharding_cmd,
     "concurrency": run_concurrency_cmd,
+    "replication": run_replication_cmd,
 }
 
 
@@ -205,6 +241,9 @@ def main(argv=None) -> int:
     parser.add_argument("--clients", type=int, default=None,
                         help="pin the concurrency sweep to one client "
                              "count")
+    parser.add_argument("--replicas", type=int, default=None,
+                        help="pin the replication sweep to one replica "
+                             "count per shard")
     args = parser.parse_args(argv)
     selected = args.experiments or list(EXPERIMENTS)
     for name in selected:

@@ -24,6 +24,13 @@ slots migrate between shards (DUMP/RESTORE transfers charged to the
 inter-shard link, clients absorbing MOVED/ASK redirects), versus steady
 state before and after the topology change.
 
+:func:`run_replication` closes the loop on the paper's "including all
+its replicas and backups" requirement: every shard carries delayed
+replicas, foreground throughput is measured against the primaries, and
+each erased key's cluster-wide **erasure horizon** (seconds until no
+primary and no replica serves it) is reported as percentiles, with a
+stale-read sample quantifying what reading from replicas would risk.
+
 :func:`run_concurrency` is the event core's scenario: an **open-loop**
 YCSB-B stream admitted at a configured arrival rate across M concurrent
 simulated clients against event-loop shards.  Unlike the closed-loop
@@ -397,6 +404,182 @@ def concurrency_table(cells: Sequence[ConcurrencyCell]) -> str:
         ["shards", "clients", "offered/s", "gdpr", "ops/s",
          "p50 queue us", "p99 queue us", "p99 svc us", "backlog"],
         rows)
+
+
+@dataclass
+class ReplicationCell:
+    """One (shards, replicas, delay, gdpr) point of the replication
+    sweep."""
+
+    shards: int
+    replicas: int
+    delay: float            # one-way replication delay (seconds)
+    gdpr: bool
+    throughput: float       # ops/s of the primary-side YCSB-B mix
+    replica_reads: int      # sampled reads served from replicas
+    stale_reads: int        # ...that raced an in-flight write
+    horizons: int           # erasure horizons measured
+    horizon_p50: float      # seconds until a DELed key left every copy
+    horizon_p99: float
+    horizon_max: float
+
+
+def _percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending, non-empty sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * int(pct) // 100))  # ceil
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def run_replication_cell(shards: int, replicas: int, delay: float,
+                         gdpr: bool, record_count: int = 300,
+                         operation_count: int = 800,
+                         erase_count: int = 16,
+                         seed: int = 42) -> ReplicationCell:
+    """One replication point: a cluster of ``shards``, each carrying
+    ``replicas`` replicas behind a ``delay``-second stream.
+
+    Three measurements per cell:
+
+    * **throughput** of a depth-8 pipelined YCSB-B mix against the
+      primaries (the replication fan-out itself is the only new cost);
+    * a **stale-read sample**: reads routed to replicas immediately
+      after the mix, counting how many raced the in-flight backlog;
+    * **erasure horizons**: ``erase_count`` keys are DELed one at a time
+      and the cluster-wide horizon -- simulated seconds until the key is
+      invisible on every primary *and* replica -- is measured for each,
+      reported as percentiles (the paper's "including all its replicas"
+      requirement, quantified).
+    """
+    cluster = build_cluster(shards, store_factory=_store_factory(gdpr),
+                            latency=RAW_ONE_WAY_LATENCY)
+    # Timer pumps on the per-shard clocks: replicas apply continuously
+    # as shard time advances, so the stale-read sample reflects the
+    # delay window rather than an ever-growing backlog.
+    replication = cluster.attach_replication(replicas_per_shard=replicas,
+                                             delay=delay,
+                                             pump_interval=delay / 4)
+    rng = random.Random(seed)
+    value = bytes(rng.randrange(32, 127) for _ in range(VALUE_SIZE))
+    keys = [build_key_name(number) for number in range(record_count)]
+    _pipelined_phase(cluster, [("SET", key, value) for key in keys], 8)
+    throughput = _pipelined_phase(
+        cluster, _request_mix(keys, value, operation_count, seed), 8)
+
+    # Stale-read sample: replicas still hold in-flight backlog from the
+    # mix, so some of these reads observe pre-write state.
+    sample = keys[::max(1, len(keys) // 32)]
+    reads_before = cluster.replica_reads
+    stale_before = cluster.stale_replica_reads
+    for key in sample:
+        cluster.call("GET", key, prefer_replica=True)
+
+    # Let replication converge, then measure per-key erasure horizons.
+    cluster.sync()
+    cluster.clock.advance(2 * delay)
+    for node in cluster.nodes:
+        node.clock.sleep_until(cluster.clock.now())
+    replication.pump()
+    step = max(delay / 8, 1e-4)
+    horizons = []
+    for key in keys[::max(1, len(keys) // erase_count)][:erase_count]:
+        cluster.call("DEL", key)
+        horizon = replication.erasure_horizon(
+            key.encode("utf-8"), step=step, max_wait=10.0 + 4 * delay)
+        if horizon is not None:
+            horizons.append(horizon)
+    horizons.sort()
+    return ReplicationCell(
+        shards=shards, replicas=replicas, delay=delay, gdpr=gdpr,
+        throughput=throughput,
+        replica_reads=cluster.replica_reads - reads_before,
+        stale_reads=cluster.stale_replica_reads - stale_before,
+        horizons=len(horizons),
+        horizon_p50=_percentile(horizons, 50),
+        horizon_p99=_percentile(horizons, 99),
+        horizon_max=horizons[-1] if horizons else 0.0)
+
+
+def run_replication(shard_counts: Sequence[int] = (1, 2),
+                    replica_counts: Sequence[int] = (1, 2),
+                    delays: Sequence[float] = (0.001, 0.010),
+                    record_count: int = 300, operation_count: int = 800,
+                    seed: int = 42) -> List[ReplicationCell]:
+    """The full sweep: shards x replicas x replication delay x GDPR
+    on/off.  Throughput shows what the fan-out costs the primaries;
+    the horizon percentiles show what the *delay* costs compliance --
+    erasure is only complete when the slowest replica catches up.
+    """
+    return [run_replication_cell(shards, replicas, delay, gdpr,
+                                 record_count=record_count,
+                                 operation_count=operation_count,
+                                 seed=seed)
+            for gdpr in (False, True)
+            for shards in shard_counts
+            for replicas in replica_counts
+            for delay in delays]
+
+
+def replication_table(cells: Sequence[ReplicationCell]) -> str:
+    rows = []
+    for cell in cells:
+        stale = (cell.stale_reads / cell.replica_reads
+                 if cell.replica_reads else 0.0)
+        rows.append([
+            cell.shards, cell.replicas,
+            round(cell.delay * 1e3, 3),
+            "on" if cell.gdpr else "off",
+            round(cell.throughput, 1),
+            f"{stale:.2f}",
+            round(cell.horizon_p50 * 1e3, 3),
+            round(cell.horizon_p99 * 1e3, 3),
+            round(cell.horizon_max * 1e3, 3),
+        ])
+    return render_table(
+        ["shards", "replicas", "delay ms", "gdpr", "ops/s",
+         "stale frac", "hz p50 ms", "hz p99 ms", "hz max ms"],
+        rows)
+
+
+def replicated_erasure_fanout(shard_counts: Sequence[int] = (1, 2, 4),
+                              replicas: int = 2, delay: float = 0.020,
+                              subject_keys: int = 40,
+                              seed: int = 7) -> List[Dict[str, float]]:
+    """Art. 17 through replicas: erase one subject across every shard of
+    a replicated :class:`ShardedGDPRStore` and report how long until the
+    last replica stopped serving the last key.
+
+    Replica pumps run as daemon timer events on the store's scheduler
+    (``pump_interval = delay / 4``), so the horizon is measured the same
+    way an event-driven deployment would observe it.
+    """
+    rows = []
+    for shards in shard_counts:
+        store = ShardedGDPRStore(num_shards=shards,
+                                 kv_factory=_store_factory(gdpr=True))
+        store.attach_replication(replicas_per_shard=replicas,
+                                 delay=delay, pump_interval=delay / 4)
+        rng = random.Random(seed)
+        for number in range(subject_keys):
+            owner = "alice" if number % 2 == 0 else f"other-{number % 7}"
+            store.put(f"user:{number}", bytes(rng.randrange(97, 123)
+                                              for _ in range(32)),
+                      GDPRMetadata(owner=owner,
+                                   purposes=frozenset({"service"})))
+        store.clock.advance(2 * delay)   # replicas converge on the load
+        keys = store.keys_of_subject("alice")
+        receipt = store.erase_subject("alice")
+        horizon = store.subject_erasure_horizon(keys, step=delay / 10)
+        rows.append({
+            "shards": float(shards),
+            "total_replicas": float(replicas * shards),
+            "keys_erased": float(len(receipt.keys_erased)),
+            "erase_seconds": receipt.duration,
+            "horizon_seconds": horizon if horizon is not None else -1.0,
+            "crypto_erased": float(receipt.crypto_erased),
+        })
+    return rows
 
 
 def erasure_fanout(shard_counts: Sequence[int] = (1, 2, 4),

@@ -5,9 +5,11 @@ N shards (:mod:`repro.cluster.slots`), a pipelining, redirect-following
 :class:`ClusterClient` over the simulated network
 (:mod:`repro.cluster.client`), **live slot migration** that moves data --
 not just routing -- between shards behind MOVED/ASK redirects
-(:mod:`repro.cluster.migration`), and a :class:`ShardedGDPRStore` that
+(:mod:`repro.cluster.migration`), a :class:`ShardedGDPRStore` that
 fans subject rights and crypto-erasure out across shards
-(:mod:`repro.cluster.sharded_store`).
+(:mod:`repro.cluster.sharded_store`), and **per-shard replication
+groups** with a cluster-wide erasure horizon and replica-set handoff at
+slot migration (:mod:`repro.cluster.replication`).
 
 Layer-wide invariants (each module's docstring details its own):
 
@@ -19,7 +21,11 @@ Layer-wide invariants (each module's docstring details its own):
   evidence stays on the machine that served the interaction;
 * Art. 17 erasure reaches every copy a subject has, on every shard,
   including mid-migration shadow copies, and one shared-keystore
-  crypto-erasure voids all ciphertexts at once.
+  crypto-erasure voids all ciphertexts at once;
+* replication lag is a *compliance* property: shards may carry delayed
+  replicas, erasure fans out to them through the per-shard write
+  streams, and the cluster-wide ``erasure_horizon`` reports when a
+  deleted key left the last copy.
 """
 
 from .client import (
@@ -36,6 +42,11 @@ from .client import (
     parse_redirect,
 )
 from .migration import GDPRSlotMigrator, MigrationReceipt, SlotMigrator
+from .replication import (
+    ClusterReplication,
+    ReplicatedShard,
+    queue_touches,
+)
 from .sharded_store import ShardedErasureReceipt, ShardedGDPRStore
 from .slots import (
     MigrationState,
@@ -65,6 +76,9 @@ __all__ = [
     "GDPRSlotMigrator",
     "MigrationReceipt",
     "SlotMigrator",
+    "ClusterReplication",
+    "ReplicatedShard",
+    "queue_touches",
     "ShardedGDPRStore",
     "ShardedErasureReceipt",
 ]

@@ -39,6 +39,7 @@ Cross-shard invariants enforced here:
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.clock import Clock, SimClock
@@ -49,6 +50,7 @@ from ..common.errors import (
     MovedError,
     RedirectError,
     RedirectLoopError,
+    StoreError,
 )
 from ..common.resp import RespDecoder, RespError, encode, encode_command
 from ..kvstore.commands import normalize_args
@@ -59,6 +61,7 @@ from ..kvstore.server import (
     RawTransport,
     ServerConnection,
     StoreServer,
+    resp_error_from_store_error,
 )
 from ..kvstore.store import KeyValueStore, StoreConfig
 from ..net.channel import Channel, LAN_LATENCY, RAW_BANDWIDTH_BPS
@@ -80,6 +83,19 @@ BROADCAST_COMMANDS = frozenset((
 # Commands whose cluster-wide semantics cannot be faked by routing their
 # first argument (SCAN cursors and RANDOMKEY are per-shard notions).
 UNROUTABLE_COMMANDS = frozenset((b"SCAN", b"RANDOMKEY"))
+
+# Read-only single-slot commands eligible for read-from-replica routing
+# (the READONLY-connection subset this model supports).  Anything else
+# always goes to the primary.
+REPLICA_READ_COMMANDS = frozenset((
+    b"GET", b"MGET", b"EXISTS", b"STRLEN", b"TTL", b"PTTL", b"TYPE",
+    b"HGET", b"HGETALL", b"HMGET", b"HLEN", b"LRANGE", b"LLEN",
+    b"SMEMBERS", b"SCARD", b"SISMEMBER", b"ZSCORE", b"ZCARD",
+))
+
+# Sentinel: the replica path declined (no group, ineligible command);
+# fall through to the primary round trip.
+_REPLICA_MISS = object()
 
 # Multi-key commands and where their keys sit: (first, step); keys run to
 # the end of argv.  All keys must share a slot (Redis' CROSSSLOT rule).
@@ -442,7 +458,9 @@ class ClusterClient:
     def __init__(self, nodes: Sequence[ClusterNode],
                  slot_map: Optional[SlotMap] = None,
                  clock: Optional[Clock] = None,
-                 max_redirects: int = 5) -> None:
+                 max_redirects: int = 5,
+                 read_from_replicas: bool = False,
+                 replica_seed: int = 0) -> None:
         if not nodes:
             raise ClusterError("a cluster needs at least one shard")
         self.nodes = list(nodes)
@@ -474,6 +492,15 @@ class ClusterClient:
         self.max_redirects = max_redirects
         self.moved_redirects = 0
         self.ask_redirects = 0
+        # Per-shard replica groups (attach_replication); with
+        # read_from_replicas on, eligible reads go to a random replica of
+        # the owning shard, and stale_replica_reads counts the ones whose
+        # replica had the read key in its in-flight backlog.
+        self.replication = None
+        self.read_from_replicas = read_from_replicas
+        self._replica_rng = random.Random(replica_seed)
+        self.replica_reads = 0
+        self.stale_replica_reads = 0
         self._route: List[int] = []
         self.refresh_routing()
 
@@ -522,18 +549,135 @@ class ClusterClient:
                 "CROSSSLOT Keys in request don't hash to the same slot")
         return self._route[slots.pop()]
 
+    # -- replication -------------------------------------------------------
+
+    def attach_replication(self, replicas_per_shard: int = 1,
+                           delay: float = 0.001,
+                           delays: Optional[Sequence[float]] = None,
+                           pump_interval: Optional[float] = None,
+                           replica_factory=None):
+        """Give every shard a replication group (see
+        :mod:`repro.cluster.replication`).  Links live on each shard's
+        own clock -- the shared scheduler in event mode -- so delivery
+        times sit on the timeline the shard's writes happen on.  With
+        ``pump_interval``, groups pump themselves from daemon timer
+        events.  Slot migrations then hand replica sets off at the flip
+        (``MigrationReceipt.replicas_synced``)."""
+        from .replication import ClusterReplication
+
+        if self.replication is not None:
+            raise ClusterError("replication is already attached")
+        self.replication = ClusterReplication.attach(
+            self.clock,
+            [(node.index, node.store,
+              self.clock if self.event_driven else node.store.clock)
+             for node in self.nodes],
+            replicas_per_shard=replicas_per_shard, delay=delay,
+            delays=delays, pump_interval=pump_interval,
+            replica_factory=replica_factory)
+        return self.replication
+
+    def _replica_read(self, argv: List[bytes]) -> Any:
+        """Serve an eligible read from a replica of the owning shard, or
+        return the miss sentinel to fall through to the primary.
+
+        The read is charged one round trip on the shard's channel shape
+        (the replica is its own machine behind an equivalent link); the
+        replica store itself serves from whatever state its delayed
+        stream has applied -- which is exactly the stale-read exposure
+        the knob exists to measure.
+
+        Topology changes are honoured, not bypassed: a real READONLY
+        replica knows the cluster state and answers ``MOVED`` when its
+        primary no longer owns the slot, so a replica read through a
+        stale routing cache learns the new owner (counted in
+        ``moved_redirects``) and reads *that* shard's replica.  A slot
+        mid-migration falls through to the primary path, which speaks
+        ASK properly.
+        """
+        if self.replication is None \
+                or argv[0].upper() not in REPLICA_READ_COMMANDS:
+            return _REPLICA_MISS
+        keys = command_keys(argv)
+        if not keys:
+            return _REPLICA_MISS
+        shard = self.route(argv)
+        slot = slot_for_key(keys[0])
+        if self.slots.migration_of(slot) is not None:
+            return _REPLICA_MISS
+        owner = self.slots.shard_of_slot(slot)
+        if owner != shard:
+            # The replica's server would reply MOVED; that wasted hop
+            # costs a round trip on the stale shard's channel before
+            # the read retries at the new owner's replica.
+            stale_channel = getattr(self.nodes[shard], "channel", None)
+            if stale_channel is not None:
+                nbytes = (len(encode_command(*argv))
+                          + len(encode(RespError(
+                              str(MovedError(slot, owner))))))
+                self.clock.advance(
+                    2 * stale_channel.latency
+                    + nbytes / stale_channel.bandwidth_bps)
+            self.moved_redirects += 1
+            self.learn_route(slot, owner)
+            shard = owner
+        group = self.replication.group_of(shard)
+        if group is None or not group.links:
+            return _REPLICA_MISS
+        from .replication import queue_touches
+
+        # Replica delivery proceeds with cluster time whether or not the
+        # primary path has touched this shard lately: bring the link
+        # clock (per-shard in sync mode) up to now and apply whatever is
+        # due, so only genuinely in-flight commands can count as stale.
+        if group.clock is not self.clock:
+            group.clock.sleep_until(self.clock.now())
+        group.pump()
+        link = group.links[self._replica_rng.randrange(len(group.links))]
+        self.replica_reads += 1
+        if queue_touches(link, keys):
+            self.stale_replica_reads += 1
+        try:
+            reply = link.replica.execute(*argv)
+        except RespError as exc:
+            reply = exc
+        except StoreError as exc:
+            reply = resp_error_from_store_error(exc)
+        channel = getattr(self.nodes[shard], "channel", None)
+        if channel is not None:
+            nbytes = len(encode_command(*argv)) + len(encode(reply))
+            self.clock.advance(2 * channel.latency
+                               + nbytes / channel.bandwidth_bps)
+        return reply
+
     # -- execution ---------------------------------------------------------
 
     def call(self, *args: Any, raise_errors: bool = True,
-             shard: Optional[int] = None) -> Any:
+             shard: Optional[int] = None,
+             prefer_replica: Optional[bool] = None) -> Any:
         """One command, one full round trip to its shard (or, for
         keyspace-wide commands, one concurrent round trip to every
-        shard with the replies merged)."""
+        shard with the replies merged).
+
+        ``prefer_replica`` (default: the client's ``read_from_replicas``
+        setting) routes an eligible single-slot read to a random replica
+        of the owning shard instead of the primary; ineligible commands
+        -- and clients with no replication attached -- fall through to
+        the primary transparently.  Pipelines always hit primaries.
+        """
         argv = normalize_args(args)
         if not argv:
             raise ValueError("empty command")
         if shard is None and argv[0].upper() in BROADCAST_COMMANDS:
             return self._broadcast(argv, raise_errors)
+        use_replica = self.read_from_replicas if prefer_replica is None \
+            else prefer_replica
+        if use_replica and shard is None:
+            reply = self._replica_read(argv)
+            if reply is not _REPLICA_MISS:
+                if raise_errors and isinstance(reply, RespError):
+                    raise reply
+                return reply
         target = shard if shard is not None else self.route(argv)
         [reply] = self.execute_routed([(target, argv)])
         if raise_errors and isinstance(reply, RespError):

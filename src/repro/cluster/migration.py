@@ -57,6 +57,8 @@ class MigrationReceipt:
     recopied: int = 0           # dirty re-copies forced by source writes
     aborted: bool = False
     residual_in_source_aof: bool = False
+    replicas_synced: int = 0    # keys full-synced onto the destination's
+                                # replicas at the ownership flip
 
     @property
     def duration(self) -> float:
@@ -211,7 +213,17 @@ class _SlotMigrationBase:
 
     def finish(self) -> MigrationReceipt:
         """Drain stragglers, flip slot ownership atomically, then remove
-        the handed-off copies from the source."""
+        the handed-off copies from the source.
+
+        With replication attached, the flip hands the replica set off
+        too: the destination's replicas are full-synced from their (new
+        owner) primary, so the moved slot is replicated the moment it
+        starts serving; the source's replicas converge through the
+        handoff DELs travelling their normal delayed streams.  (Like a
+        real RDB-based resync, the full sync also fast-forwards the
+        destination's unrelated in-flight stream -- replica lag on that
+        shard snaps to zero at the flip.)
+        """
         if self._done:
             raise MigrationError(
                 f"migration of slot {self.slot} already completed")
@@ -226,7 +238,12 @@ class _SlotMigrationBase:
         finally:
             self._suspended = False
         self._detach()
+        replication = self._replication()
+        synced = 0
+        if replication is not None:
+            synced = replication.full_sync_shard(self.target)
         self._fill_receipt(aborted=False)
+        self.receipt.replicas_synced = synced
         return self.receipt
 
     def abort(self) -> MigrationReceipt:
@@ -305,6 +322,11 @@ class _SlotMigrationBase:
 
     def _detach(self) -> None:
         raise NotImplementedError
+
+    def _replication(self):
+        """The cluster's :class:`ClusterReplication` registry, if one is
+        attached (replication stays optional: None disables handoff)."""
+        return None
 
     def _now(self) -> float:
         raise NotImplementedError
@@ -454,6 +476,9 @@ class SlotMigrator(_SlotMigrationBase):
     def _on_target_delete(self, db_index: int, key: bytes,
                           reason: str, when: float) -> None:
         self._note_target_delete(key)
+
+    def _replication(self):
+        return getattr(self._cluster, "replication", None)
 
     def _now(self) -> float:
         return self._cluster.clock.now()
@@ -638,6 +663,9 @@ class GDPRSlotMigrator(_SlotMigrationBase):
     def _on_target_delete(self, db_index: int, key: bytes,
                           reason: str, when: float) -> None:
         self._note_target_delete(key.decode("utf-8", "replace"))
+
+    def _replication(self):
+        return getattr(self._store, "replication", None)
 
     def _now(self) -> float:
         return self._store.clock.now()

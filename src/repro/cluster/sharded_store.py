@@ -58,6 +58,7 @@ from ..gdpr.rights import (
 from ..gdpr.store import CONTROLLER, GDPRConfig, GDPRStore
 from ..kvstore.store import KeyValueStore, StoreConfig
 from .migration import GDPRSlotMigrator, MigrationReceipt
+from .replication import ClusterReplication
 from .slots import SlotMap, slot_for_key
 
 GDPRConfigFactory = Callable[[int], GDPRConfig]
@@ -114,6 +115,7 @@ class ShardedGDPRStore:
                       config=config_factory(index),
                       keystore=self.keystore)
             for index in range(num_shards)]
+        self.replication: Optional[ClusterReplication] = None
 
     # -- routing -----------------------------------------------------------
 
@@ -285,6 +287,63 @@ class ShardedGDPRStore:
                             principal=principal)
         return len(self.keys_of_subject(subject))
 
+    # -- replication -------------------------------------------------------
+
+    def attach_replication(self, replicas_per_shard: int = 1,
+                           delay: float = 0.001,
+                           delays: Optional[List[float]] = None,
+                           pump_interval: Optional[float] = None,
+                           replica_factory=None) -> ClusterReplication:
+        """Give every shard a replication group of ``replicas_per_shard``
+        replicas (``delays`` overrides the uniform ``delay`` per
+        replica).  With ``pump_interval`` set, every group pumps itself
+        from daemon timer events on the store's clock -- replication
+        progresses with the event timeline, and lag becomes measurable
+        in event-driven runs.
+
+        Once attached, slot migrations hand replica sets off too: the
+        migrator full-syncs the destination's replicas at the ownership
+        flip, and mid-migration cascade deletes reach both copies'
+        replicas through the per-shard write streams.
+        """
+        if self.replication is not None:
+            raise ClusterError("replication is already attached")
+        self.replication = ClusterReplication.attach(
+            self.clock,
+            [(index, shard.kv, None)
+             for index, shard in enumerate(self.shards)],
+            replicas_per_shard=replicas_per_shard, delay=delay,
+            delays=delays, pump_interval=pump_interval,
+            replica_factory=replica_factory)
+        return self.replication
+
+    def erasure_horizon(self, key: str, step: float = 1e-3,
+                        max_wait: float = 60.0) -> Optional[float]:
+        """Cluster-wide erasure horizon of one key: simulated seconds
+        until no primary and no replica on any shard serves it.  Call
+        immediately after deleting the key; requires replicas attached
+        (without them the primaries' DELs are synchronous and the
+        horizon is trivially zero)."""
+        if self.replication is None:
+            raise ClusterError(
+                "erasure_horizon needs attach_replication() first")
+        return self.replication.erasure_horizon(key, step=step,
+                                                max_wait=max_wait)
+
+    def subject_erasure_horizon(self, keys: List[str],
+                                step: float = 1e-3,
+                                max_wait: float = 60.0
+                                ) -> Optional[float]:
+        """Erasure horizon of a whole subject's key set (capture it with
+        :meth:`keys_of_subject` *before* erasing): time until the last
+        copy of the last key is gone from every primary and replica."""
+        if self.replication is None:
+            raise ClusterError(
+                "subject_erasure_horizon needs attach_replication() "
+                "first")
+        return self.replication.keys_erasure_horizon(
+            keys, step=step, max_wait=max_wait)
+
     # -- resharding --------------------------------------------------------
 
     def begin_slot_migration(self, slot: int,
@@ -435,4 +494,10 @@ class ShardedGDPRStore:
                           keystore=self.keystore)
         shard.rebuild_indexes()
         self.shards[index] = shard
+        if self.replication is not None \
+                and self.replication.group_of(index) is not None:
+            # The old group subscribed to the crashed store's write
+            # stream; re-home it (same replica count/delays/pump) onto
+            # the recovered primary and full-sync the replicas.
+            self.replication.rebuild_shard(index, kv)
         return replayed

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from ..common.clock import Clock
 from .commands import Session
@@ -50,17 +50,43 @@ class ReplicationLink:
         self.replica = replica
         self.clock = clock
         self.delay = delay
+        self.closed = False
         self.stats = ReplicaStats()
         self._queue: Deque[Tuple[float, int, List[bytes]]] = deque()
         self._session = Session()
 
     def enqueue(self, db_index: int, argv: List[bytes]) -> None:
+        if self.closed:
+            return
         deliver_at = self.clock.now() + self.delay
         self._queue.append((deliver_at, db_index, argv))
 
     @property
     def backlog(self) -> int:
         return len(self._queue)
+
+    def queued_commands(self) -> Iterator[Tuple[int, List[bytes]]]:
+        """The in-flight (db_index, argv) stream, oldest first.  Readers
+        (a replica-routing client judging stale-read risk) must not
+        mutate the queue."""
+        for _, db_index, argv in self._queue:
+            yield db_index, argv
+
+    def discard_backlog(self) -> int:
+        """Drop every queued-but-undelivered command; returns how many.
+
+        Used by full sync: commands enqueued before the snapshot was
+        taken are already reflected in it, so replaying them on top
+        would double-apply non-idempotent writes (APPEND, INCR)."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
+    def close(self) -> None:
+        """Stop this link: drop the backlog and refuse further traffic.
+        The replica store survives (frozen at its last applied state)."""
+        self.closed = True
+        self._queue.clear()
 
     def lag(self) -> float:
         """Seconds until the oldest queued command lands (0 if none)."""
@@ -73,29 +99,40 @@ class ReplicationLink:
         now = self.clock.now()
         applied = 0
         while self._queue and self._queue[0][0] <= now:
-            _, db_index, argv = self._queue.popleft()
+            deliver_at, db_index, argv = self._queue.popleft()
             if self._session.db_index != db_index:
                 self._session.db_index = db_index
             self.replica.execute(*argv, session=self._session)
             self.stats.commands_applied += 1
             self.stats.bytes_applied += sum(len(a) for a in argv)
-            self.stats.last_applied_at = now
+            # The command *landed* at its delivery time; an infrequent
+            # pump must not inflate the apparent replication lag.
+            self.stats.last_applied_at = deliver_at
             applied += 1
         return applied
 
 
 class ReplicationManager:
-    """Fans the primary's write stream out to replica links."""
+    """Fans the primary's write stream out to replica links.
 
-    def __init__(self, primary: KeyValueStore) -> None:
+    ``clock`` defaults to the primary's own clock; an event-driven
+    cluster passes its shared scheduler instead, so delivery times live
+    on the same timeline the pump events fire on.
+    """
+
+    def __init__(self, primary: KeyValueStore,
+                 clock: Optional[Clock] = None) -> None:
         self.primary = primary
-        self.clock = primary.clock
+        self.clock = clock if clock is not None else primary.clock
         self.links: Dict[str, ReplicationLink] = {}
+        self.closed = False
         primary.add_write_listener(self._on_write)
 
     def add_replica(self, name: str, delay: float = 0.001,
                     replica: Optional[KeyValueStore] = None
                     ) -> ReplicationLink:
+        if self.closed:
+            raise ValueError("replication manager is closed")
         if name in self.links:
             raise ValueError(f"replica {name!r} already attached")
         if replica is None:
@@ -107,7 +144,28 @@ class ReplicationManager:
         return link
 
     def remove_replica(self, name: str) -> bool:
-        return self.links.pop(name, None) is not None
+        """Detach a replica and stop its stream: the link is closed, so
+        a caller still holding it cannot keep consuming (or applying)
+        the primary's writes."""
+        link = self.links.pop(name, None)
+        if link is None:
+            return False
+        link.close()
+        return True
+
+    def close(self) -> None:
+        """Detach from the primary's write stream and close every link.
+
+        Without this, a discarded manager stays subscribed as a write
+        listener forever: the primary keeps paying fan-out on every
+        write and the garbage collector can never reclaim the replicas.
+        Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.primary.remove_write_listener(self._on_write)
+        for link in self.links.values():
+            link.close()
 
     def _on_write(self, db_index: int, argv: List[bytes]) -> None:
         for link in self.links.values():
@@ -119,8 +177,14 @@ class ReplicationManager:
 
     def full_sync(self, name: str) -> int:
         """Initial synchronization: copy a snapshot to the named replica
-        (Redis' RDB-based full resync)."""
+        (Redis' RDB-based full resync).
+
+        The link's queued backlog is dropped first: everything enqueued
+        before this instant is already reflected in the snapshot, and
+        replaying it on top would double-apply non-idempotent writes
+        (the replication offset is, in effect, reset to the snapshot)."""
         link = self.links[name]
+        link.discard_backlog()
         snapshot = self.primary.save_snapshot()
         return link.replica.load_snapshot(snapshot)
 

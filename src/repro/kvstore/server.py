@@ -91,6 +91,17 @@ class BufferedTransport:
         return self._inner.recv_available()
 
 
+def resp_error_from_store_error(exc: StoreError) -> RespError:
+    """Map a store exception to its wire form, prefixing ``ERR`` unless
+    the message already leads with an error code (WRONGTYPE, BUSYKEY,
+    ...).  One mapping for every serving path -- the RESP servers and
+    the cluster client's direct replica reads must format identically."""
+    message = str(exc)
+    if not message.split(" ", 1)[0].isupper():
+        message = "ERR " + message
+    return RespError(message)
+
+
 class ServerConnection:
     """Server-side state for one client connection."""
 
@@ -154,10 +165,7 @@ class StoreServer:
         except RespError as exc:
             return exc
         except StoreError as exc:
-            message = str(exc)
-            if not message.split(" ", 1)[0].isupper():
-                message = "ERR " + message
-            return RespError(message)
+            return resp_error_from_store_error(exc)
 
     def _start_monitor(self, conn: ServerConnection) -> None:
         conn.session.monitoring = True

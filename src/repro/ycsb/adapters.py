@@ -168,11 +168,21 @@ class ClusterAdapter(StorageAdapter):
     redirects, so a workload keeps running while slots migrate between
     shards.  :attr:`redirects_followed` exposes how many redirects the
     run absorbed (the benchmark's "cost of topology change" signal).
+
+    With ``read_from_replicas=True`` (and replication attached to the
+    cluster client) eligible reads go to a random replica of the owning
+    shard; :attr:`replica_reads` / :attr:`stale_replica_reads` expose
+    how many were served there and how many raced an in-flight write to
+    the same key -- the stale-read probability as a measured number.
     """
 
-    def __init__(self, cluster, pipeline_depth: int = 1) -> None:
+    def __init__(self, cluster, pipeline_depth: int = 1,
+                 read_from_replicas: Optional[bool] = None) -> None:
         self.cluster = cluster
         self.pipeline_depth = max(1, pipeline_depth)
+        # Tri-state: None defers to the client's own read_from_replicas
+        # setting; True/False overrides it for this adapter's reads.
+        self.read_from_replicas = read_from_replicas
         self._pending = None
 
     @property
@@ -180,6 +190,16 @@ class ClusterAdapter(StorageAdapter):
         """MOVED + ASK redirects this adapter's client has followed."""
         return (self.cluster.moved_redirects
                 + self.cluster.ask_redirects)
+
+    @property
+    def replica_reads(self) -> int:
+        """Reads this adapter's client served from a replica."""
+        return self.cluster.replica_reads
+
+    @property
+    def stale_replica_reads(self) -> int:
+        """Replica reads that raced an in-flight write to the same key."""
+        return self.cluster.stale_replica_reads
 
     def _queue(self, *args) -> None:
         if self.pipeline_depth <= 1:
@@ -210,11 +230,14 @@ class ClusterAdapter(StorageAdapter):
     def read(self, key: str,
              fields: Optional[List[str]] = None) -> Dict[str, bytes]:
         self.flush()
+        prefer = self.read_from_replicas
         if fields:
-            flat = self.cluster.call("HMGET", key, *fields)
+            flat = self.cluster.call("HMGET", key, *fields,
+                                     prefer_replica=prefer)
             return {name: payload for name, payload in zip(fields, flat)
                     if payload is not None}
-        return _pairs_to_dict(self.cluster.call("HGETALL", key))
+        return _pairs_to_dict(self.cluster.call("HGETALL", key,
+                                                prefer_replica=prefer))
 
     def scan(self, start_key: str,
              count: int) -> List[Dict[str, bytes]]:

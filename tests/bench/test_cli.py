@@ -58,6 +58,30 @@ class TestCli:
         # shard shares the load, so 'after' is at worst marginally off).
         assert result.steady_after > 0.8 * result.steady_before
 
+    def test_replication_small(self, capsys):
+        assert main(["replication", "--shards", "2", "--replicas", "2",
+                     "--records", "30", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "erasure horizon" in out
+        assert "hz p99 ms" in out
+        assert "Art. 17 erasure through replicas" in out
+
+    def test_replication_horizon_tracks_delay(self):
+        from repro.bench.scaling import run_replication_cell
+        slow = run_replication_cell(2, 2, 0.010, gdpr=False,
+                                    record_count=40,
+                                    operation_count=80)
+        fast = run_replication_cell(2, 2, 0.001, gdpr=False,
+                                    record_count=40,
+                                    operation_count=80)
+        assert slow.horizons > 0 and fast.horizons > 0
+        # The horizon is the replication delay made visible: ten times
+        # the delay, ten times the compliance window.
+        assert slow.horizon_p99 > 5 * fast.horizon_p99
+        assert slow.horizon_p99 == pytest.approx(0.010, rel=0.3)
+        # Primary-side throughput does not depend on the replica delay.
+        assert slow.throughput == pytest.approx(fast.throughput)
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["warpdrive"])
@@ -65,4 +89,5 @@ class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
                                     "micro", "ablations", "scaling",
-                                    "resharding", "concurrency"}
+                                    "resharding", "concurrency",
+                                    "replication"}

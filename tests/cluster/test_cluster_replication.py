@@ -1,0 +1,517 @@
+"""Tests for per-shard replication groups: cluster-wide erasure
+horizon, timer-event pumping, replica handoff at slot migration, and
+read-from-replica routing."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ClusterError
+from repro.cluster import (
+    ClusterReplication,
+    ShardedGDPRStore,
+    SlotMigrator,
+    build_cluster,
+    queue_touches,
+    slot_for_key,
+)
+from repro.gdpr import GDPRMetadata
+from repro.kvstore import KeyValueStore, StoreConfig
+
+
+def metadata(owner="alice"):
+    return GDPRMetadata(owner=owner, purposes=frozenset({"service"}))
+
+
+def tagged_keys(tag, count):
+    return [f"{{{tag}}}:k{i}" for i in range(count)]
+
+
+def make_replicated_store(num_shards=2, replicas=2, delay=0.010,
+                          pump_interval=None):
+    store = ShardedGDPRStore(num_shards=num_shards)
+    replication = store.attach_replication(replicas_per_shard=replicas,
+                                           delay=delay,
+                                           pump_interval=pump_interval)
+    return store, replication
+
+
+class TestReplicatedShardGroups:
+    def test_every_shard_gets_a_group(self):
+        store, replication = make_replicated_store(num_shards=3,
+                                                   replicas=2)
+        assert sorted(replication.groups) == [0, 1, 2]
+        for index in range(3):
+            group = replication.group_of(index)
+            assert group.num_replicas == 2
+            assert group.primary is store.shards[index].kv
+        assert replication.num_replicas == 6
+
+    def test_attach_twice_rejected(self):
+        store, _ = make_replicated_store()
+        with pytest.raises(ClusterError):
+            store.attach_replication()
+
+    def test_writes_stream_to_replicas_with_delay(self):
+        store, replication = make_replicated_store(delay=0.010)
+        store.put("user:1", b"payload", metadata())
+        shard = store.shard_for("user:1")
+        group = replication.group_of(shard)
+        for link in group.links:
+            assert link.replica.execute("EXISTS", "user:1") == 0
+        store.clock.advance(0.011)
+        replication.pump()
+        for link in group.links:
+            assert link.replica.execute("EXISTS", "user:1") == 1
+
+    def test_per_replica_delays(self):
+        store = ShardedGDPRStore(num_shards=1)
+        replication = store.attach_replication(
+            replicas_per_shard=2, delays=[0.002, 0.200])
+        store.put("user:1", b"payload", metadata())
+        fast, slow = replication.group_of(0).links
+        store.clock.advance(0.003)
+        replication.pump()
+        assert fast.replica.execute("EXISTS", "user:1") == 1
+        assert slow.replica.execute("EXISTS", "user:1") == 0
+
+    def test_mismatched_delays_rejected(self):
+        store = ShardedGDPRStore(num_shards=1)
+        with pytest.raises(ClusterError):
+            store.attach_replication(replicas_per_shard=3,
+                                     delays=[0.001])
+
+    def test_attach_full_syncs_pre_existing_data(self):
+        """Regression: data written before attachment predates the
+        write stream; without an initial full resync replicas would
+        miss it forever."""
+        store = ShardedGDPRStore(num_shards=2)
+        store.put("user:1", b"old", metadata())
+        replication = store.attach_replication(replicas_per_shard=2,
+                                               delay=0.010)
+        shard = store.shard_for("user:1")
+        for link in replication.group_of(shard).links:
+            assert link.replica.execute("GET", "user:1") is not None
+
+
+class TestErasureHorizon:
+    def test_horizon_requires_replication(self):
+        store = ShardedGDPRStore(num_shards=2)
+        with pytest.raises(ClusterError):
+            store.erasure_horizon("user:1")
+        with pytest.raises(ClusterError):
+            store.subject_erasure_horizon(["user:1"])
+
+    def test_horizon_bounded_by_slowest_replica(self):
+        store = ShardedGDPRStore(num_shards=2)
+        store.attach_replication(replicas_per_shard=2,
+                                 delays=[0.010, 0.120])
+        store.put("user:1", b"payload", metadata())
+        store.clock.advance(0.2)
+        store.replication.pump()
+        store.delete("user:1")
+        horizon = store.erasure_horizon("user:1", step=0.005)
+        assert horizon is not None
+        assert 0.115 <= horizon <= 0.130
+
+    def test_subject_horizon_spans_shards(self):
+        store, replication = make_replicated_store(num_shards=4,
+                                                   delay=0.050)
+        for i in range(12):
+            store.put(f"user:{i}", b"x", metadata("alice"))
+        assert len(store.shards_of_subject("alice")) > 1
+        store.clock.advance(0.1)
+        replication.pump()
+        keys = store.keys_of_subject("alice")
+        receipt = store.erase_subject("alice")
+        assert sorted(receipt.keys_erased) == keys
+        horizon = store.subject_erasure_horizon(keys, step=0.005)
+        assert horizon is not None
+        assert 0.045 <= horizon <= 0.060
+        for key in keys:
+            assert not store.replication.key_visible_anywhere(key)
+
+    def test_crypto_erasure_voids_replica_ciphertext_immediately(self):
+        store, replication = make_replicated_store(num_shards=1,
+                                                   replicas=1,
+                                                   delay=1.0)
+        store.put("user:1", b"secret", metadata("alice"))
+        store.clock.advance(2.0)
+        replication.pump()
+        receipt = store.erase_subject("alice")
+        assert receipt.crypto_erased
+        # The replica still *serves* the key (its DEL is in flight)...
+        link = replication.group_of(0).links[0]
+        blob = link.replica.execute("GET", "user:1")
+        assert blob is not None
+        # ...but the bytes are sealed with a destroyed key: unreadable.
+        with pytest.raises(Exception):
+            store.keystore.cipher_for("alice", create=False)
+
+    def test_horizon_waits_for_queued_pre_deletion_write(self):
+        """Regression: a visibility-only horizon closed at 0 while the
+        key's SET was still in flight -- the replica then served the
+        'erased' data when the SET landed."""
+        store = ShardedGDPRStore(num_shards=1)
+        store.attach_replication(replicas_per_shard=1, delay=1.0)
+        store.put("user:1", b"pii", metadata())
+        store.clock.advance(0.1)        # SET still queued (1 s delay)
+        store.delete("user:1")
+        horizon = store.erasure_horizon("user:1", step=0.05,
+                                        max_wait=5.0)
+        # The DEL trails the SET by 0.1 s; erasure completes when the
+        # DEL lands (~1.0 s after issue), not instantly.
+        assert horizon is not None
+        assert 0.9 <= horizon <= 1.1
+        link = store.replication.group_of(0).links[0]
+        assert link.replica.execute("EXISTS", "user:1") == 0
+
+    def test_horizon_none_when_stream_stuck(self):
+        store, replication = make_replicated_store(num_shards=1,
+                                                   replicas=1,
+                                                   delay=0.010)
+        store.put("user:1", b"x", metadata())
+        store.clock.advance(0.02)
+        replication.pump()
+        link = replication.group_of(0).links[0]
+        store.delete("user:1")
+        link.discard_backlog()     # partitioned replica: DEL never lands
+        assert store.erasure_horizon("user:1", step=0.01,
+                                     max_wait=0.1) is None
+
+
+class TestTimerPumpedReplication:
+    def test_daemon_pump_events_drive_replicas(self):
+        store, replication = make_replicated_store(
+            delay=0.010, pump_interval=0.005)
+        store.put("user:1", b"payload", metadata())
+        shard = store.shard_for("user:1")
+        link = replication.group_of(shard).links[0]
+        # No explicit pump() anywhere: advancing the clock fires the
+        # daemon timer events, which deliver the stream.
+        store.clock.advance(0.030)
+        assert link.replica.execute("EXISTS", "user:1") == 1
+
+    def test_pump_events_are_daemon(self):
+        store, _ = make_replicated_store(pump_interval=0.005)
+        # Only daemon events in the heap: run_until_idle must not spin.
+        assert store.clock.pending_live_events() == 0
+        assert store.clock.run_until_idle(deadline=None) == 0
+
+    def test_event_driven_determinism_same_seed(self):
+        def one_run():
+            clock = SimClock()
+            trace = clock.enable_trace()
+            store = ShardedGDPRStore(num_shards=2, clock=clock)
+            store.attach_replication(replicas_per_shard=2,
+                                     delays=[0.004, 0.040],
+                                     pump_interval=0.002)
+            for i in range(10):
+                store.put(f"user:{i}", b"x" * 16,
+                          metadata("alice" if i % 2 == 0 else "bob"))
+            clock.advance(0.05)
+            keys = store.keys_of_subject("alice")
+            store.erase_subject("alice")
+            horizon = store.subject_erasure_horizon(keys, step=0.002)
+            return horizon, clock.now(), list(trace)
+
+        first = one_run()
+        second = one_run()
+        assert first[0] is not None
+        assert first == second
+        assert any(label.startswith("replication-pump")
+                   for _, label in first[2])
+
+    def test_start_pump_retunes_interval(self):
+        store, replication = make_replicated_store(pump_interval=0.5)
+        group = replication.group_of(0)
+        old_handle = group._pump_handle
+        group.start_pump(0.001)
+        assert group.pump_interval == 0.001
+        assert not old_handle.active
+        assert group._pump_handle.active
+
+    def test_start_pump_invalid_interval_keeps_running_pump(self):
+        store, replication = make_replicated_store(pump_interval=0.005)
+        group = replication.group_of(0)
+        handle = group._pump_handle
+        with pytest.raises(ClusterError):
+            group.start_pump(0)
+        assert handle.active               # healthy pump untouched
+        assert group.pump_interval == 0.005
+
+    def test_stop_pump_cancels_timer(self):
+        store, replication = make_replicated_store(pump_interval=0.005)
+        group = replication.group_of(0)
+        handle = group._pump_handle
+        assert handle is not None and handle.active
+        group.stop_pump()
+        assert not handle.active
+
+    def test_close_stops_pumps_and_stream(self):
+        store, replication = make_replicated_store(pump_interval=0.005)
+        replication.close()
+        for index, shard in enumerate(store.shards):
+            assert shard.kv.write_listeners == []
+            group = replication.group_of(index)
+            for link in group.links:
+                assert link.closed
+
+
+class TestMigrationHandsOffReplicas:
+    def test_moved_slot_replicated_on_destination(self):
+        store, replication = make_replicated_store(num_shards=2,
+                                                   delay=0.010)
+        keys = tagged_keys("repl-mig", 5)
+        for key in keys:
+            store.put(key, b"payload", metadata())
+        store.clock.advance(0.02)
+        replication.pump()
+        slot = slot_for_key(keys[0])
+        source = store.slots.shard_of_slot(slot)
+        target = 1 - source
+        receipt = store.migrate_slot(slot, target)
+        assert sorted(receipt.keys_moved) == sorted(keys)
+        # Full-synced at the flip: destination replicas hold the slot
+        # immediately, before any delayed stream could have delivered it.
+        for link in replication.group_of(target).links:
+            for key in keys:
+                assert link.replica.execute("EXISTS", key) == 1
+        assert receipt.replicas_synced >= len(keys)
+        # Source replicas drop their copies once the handoff DELs land.
+        store.clock.advance(0.02)
+        replication.pump()
+        for link in replication.group_of(source).links:
+            for key in keys:
+                assert link.replica.execute("EXISTS", key) == 0
+
+    def test_erasure_mid_migration_reaches_both_copies_replicas(self):
+        store, replication = make_replicated_store(num_shards=2,
+                                                   delay=0.010)
+        keys = tagged_keys("repl-erase", 4)
+        for key in keys:
+            store.put(key, b"pii", metadata("alice"))
+        store.clock.advance(0.02)
+        replication.pump()
+        slot = slot_for_key(keys[0])
+        source = store.slots.shard_of_slot(slot)
+        target = 1 - source
+        migrator = store.begin_slot_migration(slot, target)
+        migrator.step(2)           # shadow copies exist on the target
+        store.erase_subject("alice")
+        receipt = migrator.finish()
+        # Every copy -- source, target, and all four replicas -- is
+        # gone once the streams drain.
+        horizon = store.subject_erasure_horizon(keys, step=0.002)
+        assert horizon is not None
+        for key in keys:
+            assert not replication.key_visible_anywhere(key)
+        assert store.verify_audit_chains()
+        assert receipt.keys_moved == []
+
+    def test_kv_cluster_migration_syncs_destination_replicas(self):
+        cluster = build_cluster(2)
+        replication = cluster.attach_replication(replicas_per_shard=1,
+                                                 delay=0.010)
+        keys = tagged_keys("kv-repl", 4)
+        for i, key in enumerate(keys):
+            cluster.call("SET", key, f"v{i}")
+        slot = slot_for_key(keys[0])
+        source = cluster.slots.shard_of_slot(slot)
+        target = 1 - source
+        receipt = SlotMigrator(cluster, slot, target).run()
+        assert receipt.replicas_synced >= len(keys)
+        for link in replication.group_of(target).links:
+            for key in keys:
+                assert link.replica.execute("EXISTS", key) == 1
+
+    def test_migration_without_replication_still_works(self):
+        cluster = build_cluster(2)
+        keys = tagged_keys("no-repl", 3)
+        for key in keys:
+            cluster.call("SET", key, "v")
+        slot = slot_for_key(keys[0])
+        target = 1 - cluster.slots.shard_of_slot(slot)
+        receipt = SlotMigrator(cluster, slot, target).run()
+        assert receipt.replicas_synced == 0
+
+
+class TestReadFromReplica:
+    def test_replica_read_returns_stale_then_fresh(self):
+        cluster = build_cluster(2)
+        cluster.attach_replication(replicas_per_shard=1, delay=0.010)
+        cluster.call("SET", "k1", "v1")
+        stale = cluster.call("GET", "k1", prefer_replica=True)
+        assert stale is None                      # DEL..SET in flight
+        assert cluster.replica_reads == 1
+        assert cluster.stale_replica_reads == 1
+        cluster.sync()
+        cluster.clock.advance(0.02)
+        for node in cluster.nodes:
+            node.clock.sleep_until(cluster.clock.now())
+        cluster.replication.pump()
+        fresh = cluster.call("GET", "k1", prefer_replica=True)
+        assert fresh == b"v1"
+        assert cluster.replica_reads == 2
+        assert cluster.stale_replica_reads == 1   # unchanged
+
+    def test_client_level_default_routes_reads(self):
+        cluster = build_cluster(1)
+        cluster.attach_replication(replicas_per_shard=1, delay=0.0)
+        cluster.read_from_replicas = True
+        cluster.call("SET", "k1", "v1")           # writes hit primaries
+        cluster.nodes[0].clock.advance(0.001)
+        cluster.replication.pump()
+        assert cluster.call("GET", "k1") == b"v1"
+        assert cluster.replica_reads == 1
+
+    def test_writes_never_go_to_replicas(self):
+        cluster = build_cluster(1)
+        cluster.attach_replication(replicas_per_shard=1, delay=0.010)
+        cluster.call("SET", "k1", "v1", prefer_replica=True)
+        assert cluster.replica_reads == 0
+        assert cluster.nodes[0].store.execute("GET", "k1") == b"v1"
+
+    def test_replica_read_follows_topology_change(self):
+        """After a slot migration, a replica read through a stale
+        routing cache must discover the new owner (the replica's MOVED)
+        instead of silently serving the old shard's emptied replica."""
+        cluster = build_cluster(2)
+        replication = cluster.attach_replication(replicas_per_shard=1,
+                                                 delay=0.001)
+        cluster.call("SET", "k1", "v1")
+        slot = slot_for_key("k1")
+        source = cluster.slots.shard_of_slot(slot)
+        SlotMigrator(cluster, slot, 1 - source).run()
+        cluster.sync()
+        cluster.clock.advance(0.01)
+        for node in cluster.nodes:
+            node.clock.sleep_until(cluster.clock.now())
+        replication.pump()     # source replicas apply the handoff DELs
+        moved_before = cluster.moved_redirects
+        assert cluster.call("GET", "k1", prefer_replica=True) == b"v1"
+        assert cluster.moved_redirects == moved_before + 1
+        # The cache learned the new owner: no further redirects.
+        assert cluster.call("GET", "k1", prefer_replica=True) == b"v1"
+        assert cluster.moved_redirects == moved_before + 1
+
+    def test_replica_read_advances_link_clock_in_sync_mode(self):
+        """Regression: link clocks are per-shard in sync mode and only
+        advanced when the primary path touched the shard, so a replica
+        read long after a write still served pre-write state and was
+        miscounted as stale."""
+        cluster = build_cluster(2)
+        cluster.attach_replication(replicas_per_shard=1, delay=0.001)
+        cluster.call("SET", "k1", "v1")
+        cluster.clock.advance(10.0)    # only the master clock moves
+        assert cluster.call("GET", "k1", prefer_replica=True) == b"v1"
+        assert cluster.stale_replica_reads == 0
+
+    def test_replica_read_mid_migration_uses_primary_path(self):
+        cluster = build_cluster(2)
+        cluster.attach_replication(replicas_per_shard=1, delay=10.0)
+        cluster.call("SET", "k1", "v1")
+        slot = slot_for_key("k1")
+        source = cluster.slots.shard_of_slot(slot)
+        migrator = SlotMigrator(cluster, slot, 1 - source)
+        # Replicas are hopelessly stale (10 s delay); the migrating slot
+        # must fall through to the ASK-speaking primary path anyway.
+        assert cluster.call("GET", "k1", prefer_replica=True) == b"v1"
+        assert cluster.replica_reads == 0
+        migrator.abort()
+
+    def test_cluster_adapter_defers_to_client_setting(self):
+        from repro.ycsb.adapters import ClusterAdapter
+
+        cluster = build_cluster(1)
+        cluster.attach_replication(replicas_per_shard=1, delay=0.0)
+        cluster.read_from_replicas = True
+        adapter = ClusterAdapter(cluster)     # knob left at None
+        adapter.insert("rec1", {"f": b"v"})
+        cluster.nodes[0].clock.advance(0.001)
+        cluster.replication.pump()
+        assert adapter.read("rec1") == {"f": b"v"}
+        assert adapter.replica_reads == 1     # client default honoured
+        adapter.read_from_replicas = False    # explicit override wins
+        adapter.read("rec1")
+        assert adapter.replica_reads == 1
+
+    def test_no_replication_attached_falls_through(self):
+        cluster = build_cluster(1)
+        cluster.call("SET", "k1", "v1")
+        assert cluster.call("GET", "k1", prefer_replica=True) == b"v1"
+        assert cluster.replica_reads == 0
+
+    def test_rebuild_shard_keeps_replica_factory(self):
+        clock = SimClock()
+        primary = KeyValueStore(StoreConfig(), clock=clock)
+        made = []
+
+        def factory(index):
+            kv = KeyValueStore(StoreConfig(), clock=clock)
+            made.append(kv)
+            return kv
+
+        replication = ClusterReplication(clock)
+        replication.add_shard(0, primary, num_replicas=1,
+                              replica_factory=factory)
+        assert len(made) == 1
+        group = replication.rebuild_shard(0, primary)
+        assert len(made) == 2          # factory carried over
+        assert group.links[0].replica is made[1]
+
+    def test_queue_touches_matches_keys_only(self):
+        primary = KeyValueStore(StoreConfig(), clock=SimClock())
+        replication = ClusterReplication(primary.clock)
+        group = replication.add_shard(0, primary, num_replicas=1,
+                                      delay=10.0)
+        link = group.links[0]
+        primary.execute("SET", "hit", "value-mentioning-miss")
+        assert queue_touches(link, [b"hit"])
+        assert not queue_touches(link, [b"miss"])
+
+
+class TestEventDrivenClusterReplication:
+    def test_scheduler_pumped_replicas_and_horizon(self):
+        cluster = build_cluster(2, event_driven=True)
+        replication = cluster.attach_replication(replicas_per_shard=2,
+                                                 delay=0.005,
+                                                 pump_interval=0.002)
+        for i in range(6):
+            cluster.call("SET", f"k{i}", f"v{i}")
+        cluster.sync()
+        cluster.clock.advance(0.02)    # daemon pumps on the scheduler
+        assert replication.backlog() == 0
+        assert cluster.call("GET", "k3", prefer_replica=True) == b"v3"
+        assert cluster.stale_replica_reads == 0
+        cluster.call("DEL", "k3")
+        horizon = replication.erasure_horizon(b"k3", step=0.001)
+        assert horizon == pytest.approx(0.005, abs=0.002)
+
+
+class TestRecoveryRehomesReplication:
+    def test_recover_shard_rebuilds_group(self):
+        store, replication = make_replicated_store(num_shards=2,
+                                                   replicas=2,
+                                                   delay=0.010,
+                                                   pump_interval=0.005)
+        store.put("user:1", b"payload", metadata())
+        shard = store.shard_for("user:1")
+        store.clock.advance(0.02)
+        replication.pump()
+        old_group = replication.group_of(shard)
+        store.recover_shard(shard)
+        new_group = replication.group_of(shard)
+        assert new_group is not old_group
+        assert new_group.primary is store.shards[shard].kv
+        assert new_group.num_replicas == 2
+        assert [l.delay for l in new_group.links] \
+            == [l.delay for l in old_group.links]
+        # Replicas were full-synced from the recovered primary...
+        for link in new_group.links:
+            assert link.replica.execute("EXISTS", "user:1") == 1
+        # ...and the new stream is live (pump carried over).
+        store.put("user:2", b"more", metadata())
+        if store.shard_for("user:2") == shard:
+            store.clock.advance(0.02)
+            assert new_group.links[0].replica.execute(
+                "EXISTS", "user:2") == 1

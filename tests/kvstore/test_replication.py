@@ -79,6 +79,50 @@ class TestBasicReplication:
         assert manager.remove_replica("r1") is True
         assert manager.remove_replica("r1") is False
 
+    def test_removed_replica_stops_consuming_stream(self):
+        """Regression: a dropped replica must stop consuming the write
+        stream even if someone still holds the link object."""
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.001)
+        primary.execute("SET", "before", "1")
+        manager.remove_replica("r1")
+        assert link.closed
+        assert link.backlog == 0           # in-flight backlog dropped
+        primary.execute("SET", "after", "2")
+        link.enqueue(0, [b"SET", b"sneak", b"3"])   # refused when closed
+        assert link.backlog == 0
+        clock.advance(1.0)
+        assert link.pump() == 0
+        assert link.replica.execute("GET", "after") is None
+
+    def test_close_detaches_write_listener(self):
+        """Regression: the manager never unsubscribed from the primary,
+        so every discarded manager kept taxing the write path forever."""
+        primary, _ = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.001)
+        assert len(primary.write_listeners) == 1
+        manager.close()
+        assert primary.write_listeners == []
+        primary.execute("SET", "k", "v")
+        assert link.backlog == 0
+        manager.close()                    # idempotent
+        with pytest.raises(ValueError):
+            manager.add_replica("r2")      # closed managers are closed
+
+    def test_last_applied_at_is_delivery_time(self):
+        """Regression: recording pump time instead of delivery time
+        skewed lag/compliance metrics when pumps were infrequent."""
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.010)
+        start = clock.now()
+        primary.execute("SET", "k", "v")
+        clock.advance(5.0)                 # pump long after delivery
+        manager.pump()
+        assert link.stats.last_applied_at == pytest.approx(start + 0.010)
+
     def test_negative_delay_rejected(self):
         primary, _ = make_primary()
         manager = ReplicationManager(primary)
@@ -104,6 +148,34 @@ class TestBasicReplication:
         link = manager.add_replica("r1")
         assert manager.full_sync("r1") == 1
         assert link.replica.execute("GET", "pre") == b"existing"
+
+    def test_full_sync_drains_backlog(self):
+        """Regression: commands enqueued before the snapshot are already
+        reflected in it; replaying them on top double-applied
+        non-idempotent writes (APPEND/INCR)."""
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.010)
+        primary.execute("APPEND", "seq", "abc")
+        primary.execute("INCR", "hits")
+        assert link.backlog == 2          # queued, undelivered
+        manager.full_sync("r1")           # snapshot already holds both
+        assert link.backlog == 0
+        clock.advance(1.0)
+        manager.pump()
+        assert link.replica.execute("GET", "seq") == b"abc"
+        assert link.replica.execute("GET", "hits") == b"1"
+
+    def test_writes_after_full_sync_still_stream(self):
+        primary, clock = make_primary()
+        manager = ReplicationManager(primary)
+        link = manager.add_replica("r1", delay=0.010)
+        primary.execute("APPEND", "seq", "abc")
+        manager.full_sync("r1")
+        primary.execute("APPEND", "seq", "def")   # after the snapshot
+        clock.advance(1.0)
+        manager.pump()
+        assert link.replica.execute("GET", "seq") == b"abcdef"
 
     def test_lag_reporting(self):
         primary, clock = make_primary()

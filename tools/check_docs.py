@@ -11,11 +11,12 @@ Checks, against ROADMAP.md's canonical tier-1 verify command:
 3. every docs file README.md links to must exist, and every doc must be
    reachable from README.md (no orphaned docs);
 4. load-bearing sections stay present: docs/architecture.md must keep
-   its "Execution model" section (closed-loop vs open-loop is the
-   contract the ycsb/bench layers are written against), and
-   docs/benchmarks.md must mention every scenario the bench CLI
-   registers (the EXPERIMENTS keys parsed out of
-   src/repro/bench/__main__.py, `concurrency` included).
+   its "Execution model" and "Replication" sections (closed-loop vs
+   open-loop, and the erasure-horizon/replica-handoff contract, are
+   what the ycsb/bench layers are written against), and
+   docs/benchmarks.md must keep its `replication` reading guide and
+   mention every scenario the bench CLI registers (the EXPERIMENTS
+   keys parsed out of src/repro/bench/__main__.py).
 
 Run from the repository root (CI does), or pass the root as argv[1].
 Exits non-zero listing each violation.
@@ -38,6 +39,14 @@ REQUIRED_DOC_CONTENT = {
         ("## Execution model",
          "the closed-loop vs open-loop contract the ycsb/bench layers "
          "are written against"),
+        ("## Replication",
+         "the erasure-horizon / replica-handoff contract the cluster "
+         "and bench layers are written against"),
+    ],
+    "docs/benchmarks.md": [
+        ("### Reading the `replication` output",
+         "the erasure-horizon columns need a reading guide or the "
+         "compliance claim is unverifiable"),
     ],
 }
 
