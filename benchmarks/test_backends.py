@@ -1,0 +1,58 @@
+"""The backends scenario as a pytest-benchmark driver.
+
+Writes ``bench_results/backends.txt`` and asserts the comparison's
+*relationships* (not exact values): the KV engine's faster baseline,
+the relational engine's smaller relative compliance penalty, and
+synchronous audit dominating both -- the paper's Redis-vs-PostgreSQL
+takeaways.
+"""
+
+from conftest import OPERATIONS, RECORDS, write_result
+
+from repro.bench.backends import (
+    backends_table,
+    headline_comparison,
+    run_backends,
+)
+
+
+def test_backends_artifact(results_dir):
+    cells = run_backends(record_count=max(60, RECORDS // 2),
+                         operation_count=max(200, OPERATIONS // 2))
+    write_result(results_dir, "backends.txt", backends_table(cells))
+
+    tput = {(cell.engine, cell.feature): cell.throughput
+            for cell in cells}
+    headline = headline_comparison(cells)
+
+    # Stock KV beats stock relational (no parse/plan/WAL overheads)...
+    assert tput[("redislike", "baseline")] \
+        > 2 * tput[("relational", "baseline")]
+    # ...but pays a larger *relative* price for full compliance: the
+    # relational baseline already carries WAL costs (the paper's
+    # Redis-vs-Postgres asymmetry).
+    assert headline["redislike_slowdown_x"] \
+        > 2 * headline["relational_slowdown_x"]
+    # Monitoring (read logging) costs the KV engine relatively more:
+    # it gains a durable log it never had.
+    kv_logging = tput[("redislike", "+logging")] \
+        / tput[("redislike", "baseline")]
+    sql_logging = tput[("relational", "+logging")] \
+        / tput[("relational", "baseline")]
+    assert sql_logging > kv_logging
+    # Synchronous audit is the dominant feature cost on both engines.
+    for engine in ("redislike", "relational"):
+        for feature in ("+logging", "+metadata", "+ttl", "+encrypt"):
+            assert tput[(engine, "+audit")] < tput[(engine, feature)]
+    # Every feature costs something.
+    for (engine, feature), value in tput.items():
+        if feature != "baseline":
+            assert value < tput[(engine, "baseline")]
+
+
+def test_backends_byte_identical_across_runs():
+    once = backends_table(run_backends(record_count=40,
+                                       operation_count=100))
+    again = backends_table(run_backends(record_count=40,
+                                        operation_count=100))
+    assert once == again

@@ -1,0 +1,48 @@
+"""The open-loop latency-vs-offered-load curve (the "hockey stick").
+
+Writes ``bench_results/concurrency_hockey_stick.txt``: one seeded sweep
+of arrival rates against a single event-loop shard, p50/p99 end-to-end
+latency per point.  The assertions pin the curve's *shape* -- flat
+below the service-time ceiling, bent sharply upward past it -- rather
+than exact values, so recalibration cannot silently erase the knee.
+"""
+
+from conftest import OPERATIONS, RECORDS, write_result
+
+from repro.bench.scaling import (
+    DEFAULT_HOCKEY_RATES,
+    hockey_stick_table,
+    latency_vs_load,
+)
+
+
+def test_hockey_stick_artifact(results_dir):
+    rows = latency_vs_load(record_count=max(50, RECORDS // 3),
+                           operation_count=max(200, OPERATIONS // 2))
+    text = hockey_stick_table(rows)
+    write_result(results_dir, "concurrency_hockey_stick.txt", text)
+
+    by_rate = {row["offered"]: row for row in rows}
+    low = by_rate[min(by_rate)]
+    high = by_rate[max(by_rate)]
+    # Past the ceiling the offered stream outruns completions, so the
+    # backlog grows and p99 latency bends sharply upward.
+    assert high["p99_latency"] > 10 * low["p99_latency"]
+    assert high["max_backlog"] > low["max_backlog"]
+    # Below the knee, completions keep up with admissions.
+    assert low["completed_per_s"] > 0.9 * low["offered"]
+    # Throughput saturates: doubling offered load past the ceiling must
+    # not double completions.
+    mid = by_rate[sorted(by_rate)[len(by_rate) // 2]]
+    assert high["completed_per_s"] < 1.5 * mid["completed_per_s"]
+    # The monotone latency climb along the sweep (allowing ties).
+    p99s = [row["p99_latency"] for row in rows]
+    assert p99s == sorted(p99s)
+
+
+def test_default_rates_span_the_knee():
+    rates = DEFAULT_HOCKEY_RATES
+    assert rates == tuple(sorted(rates))
+    # The calibrated single-shard ceiling is ~40 kops/s; the sweep must
+    # sample both sides of it for the artifact to show the knee.
+    assert min(rates) < 20_000 < 40_000 <= max(rates)

@@ -406,6 +406,59 @@ def concurrency_table(cells: Sequence[ConcurrencyCell]) -> str:
         rows)
 
 
+DEFAULT_HOCKEY_RATES = (5_000.0, 10_000.0, 20_000.0, 30_000.0, 36_000.0,
+                        40_000.0, 48_000.0, 60_000.0)
+
+
+def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
+                    shards: int = 1, clients: int = 8,
+                    gdpr: bool = False, record_count: int = 100,
+                    operation_count: int = 400,
+                    seed: int = 42) -> List[Dict[str, float]]:
+    """The classic open-loop "hockey stick": end-to-end latency vs
+    offered load.
+
+    Each point admits the same YCSB-B stream at a different arrival
+    rate against a fresh event-driven cluster.  Below the service-time
+    ceiling (~1 / per-command cost per shard) latency is flat -- wire
+    plus service; past it the backlog grows for as long as admission
+    continues and p99 latency bends sharply upward.  Offered load is
+    independent of completions, so the curve shows the knee a
+    closed-loop driver structurally cannot produce.
+    """
+    rows = []
+    for rate in rates:
+        cluster = build_cluster(shards, store_factory=_store_factory(gdpr),
+                                latency=RAW_ONE_WAY_LATENCY,
+                                event_driven=True)
+        spec = WORKLOAD_B.scaled(record_count=record_count,
+                                 operation_count=operation_count)
+        runner = OpenLoopRunner(cluster, spec, clients=clients,
+                                arrival_rate=rate, seed=seed)
+        runner.preload()
+        report = runner.run(operation_count)
+        rows.append({
+            "offered": rate,
+            "completed_per_s": report.throughput,
+            "p50_latency": report.latency.percentile(50),
+            "p99_latency": report.latency.percentile(99),
+            "max_backlog": float(report.max_backlog),
+        })
+    return rows
+
+
+def hockey_stick_table(rows: Sequence[Dict[str, float]]) -> str:
+    """Render the latency-vs-offered-load curve (the bench_results
+    artifact)."""
+    return render_table(
+        ["offered/s", "ops/s", "p50 latency us", "p99 latency us",
+         "backlog"],
+        [[int(row["offered"]), round(row["completed_per_s"], 1),
+          round(row["p50_latency"] * 1e6, 1),
+          round(row["p99_latency"] * 1e6, 1),
+          int(row["max_backlog"])] for row in rows])
+
+
 @dataclass
 class ReplicationCell:
     """One (shards, replicas, delay, gdpr) point of the replication

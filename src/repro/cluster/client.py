@@ -63,6 +63,7 @@ from ..kvstore.server import (
     StoreServer,
     resp_error_from_store_error,
 )
+from ..engine.base import StorageEngine
 from ..kvstore.store import KeyValueStore, StoreConfig
 from ..net.channel import Channel, LAN_LATENCY, RAW_BANDWIDTH_BPS
 from .slots import NUM_SLOTS, SlotMap, slot_for_key
@@ -179,7 +180,7 @@ class ClusterStoreServer(StoreServer):
     keyspace" and "database 0" as the same thing.
     """
 
-    def __init__(self, store: KeyValueStore, shard_index: int = 0,
+    def __init__(self, store: StorageEngine, shard_index: int = 0,
                  slot_map: Optional[SlotMap] = None) -> None:
         super().__init__(store)
         self.shard_index = shard_index
@@ -220,9 +221,7 @@ class ClusterStoreServer(StoreServer):
         super()._serve(conn, request)
 
     def _holds(self, conn: ServerConnection, key: bytes) -> bool:
-        db = self.store.databases[conn.session.db_index]
-        return (key in db and not self.store.key_is_expired(
-            db, key, self.store.clock.now()))
+        return self.store.has_live_key(key, conn.session.db_index)
 
     def _slot_check(self, conn: ServerConnection, request: List[bytes],
                     asking: bool) -> Optional[RespError]:
@@ -269,12 +268,9 @@ class ClusterStoreServer(StoreServer):
         if name == b"KEYS":
             return [key for key in reply
                     if slot_for_key(key) not in importing]
-        db = self.store.databases[conn.session.db_index]
-        now = self.store.clock.now()
         imported = sum(
-            1 for key in db.keys()
-            if slot_for_key(key) in importing
-            and not self.store.key_is_expired(db, key, now))
+            1 for key in self.store.live_keys(conn.session.db_index)
+            if slot_for_key(key) in importing)
         return reply - imported
 
 
@@ -287,7 +283,7 @@ class EventClusterStoreServer(EventLoopMixin, ClusterStoreServer):
     machinery come from :class:`~repro.kvstore.server.EventLoopMixin`.
     """
 
-    def __init__(self, store: KeyValueStore, scheduler: SimClock,
+    def __init__(self, store: StorageEngine, scheduler: SimClock,
                  shard_index: int = 0,
                  slot_map: Optional[SlotMap] = None) -> None:
         super().__init__(store, shard_index=shard_index, slot_map=slot_map)
@@ -310,7 +306,7 @@ class ClusterNode:
       one heap -- not because anyone max()es per-shard clocks afterwards.
     """
 
-    def __init__(self, index: int, store: KeyValueStore,
+    def __init__(self, index: int, store: StorageEngine,
                  channel: Channel,
                  slot_map: Optional[SlotMap] = None,
                  scheduler: Optional[SimClock] = None) -> None:
@@ -807,10 +803,17 @@ class ClusterClient:
     # -- introspection -----------------------------------------------------
 
     def keyspace_sizes(self) -> List[int]:
-        return [len(node.store.databases[0]) for node in self.nodes]
+        return [node.store.key_count(0) for node in self.nodes]
+
+    def routing_snapshot(self) -> List[int]:
+        """A copy of this client's cached slot -> shard table.  The
+        open-loop driver seeds each simulated client's *private* routing
+        cache from this, so caches diverge and re-converge through
+        MOVED redirects individually, as real cluster clients do."""
+        return list(self._route)
 
 
-StoreFactory = Callable[[int, Clock], KeyValueStore]
+StoreFactory = Callable[[int, Clock], StorageEngine]
 
 
 def build_cluster(num_shards: int,
@@ -842,7 +845,7 @@ def build_cluster(num_shards: int,
     if slot_map is None:
         slot_map = SlotMap.even(num_shards)
     if store_factory is None:
-        def store_factory(index: int, node_clock: Clock) -> KeyValueStore:
+        def store_factory(index: int, node_clock: Clock) -> StorageEngine:
             return KeyValueStore(StoreConfig(), clock=node_clock)
     nodes = []
     for index in range(num_shards):

@@ -372,12 +372,8 @@ class SlotMigrator(_SlotMigrationBase):
     # -- primitives --------------------------------------------------------
 
     def _scan_keys(self) -> List[bytes]:
-        store = self._source_node.store
-        db = store.databases[0]
-        now = store.clock.now()
-        return sorted(key for key in db.keys()
-                      if slot_for_key(key) == self.slot
-                      and not store.key_is_expired(db, key, now))
+        return sorted(key for key in self._source_node.store.live_keys(0)
+                      if slot_for_key(key) == self.slot)
 
     def _sync_pair(self) -> None:
         """Source and target act in lockstep during a transfer."""
@@ -423,18 +419,11 @@ class SlotMigrator(_SlotMigrationBase):
         self._target_node.store.execute("DEL", key)
 
     def _scan_target_keys(self) -> List[bytes]:
-        store = self._target_node.store
-        db = store.databases[0]
-        now = store.clock.now()
-        return sorted(key for key in db.keys()
-                      if slot_for_key(key) == self.slot
-                      and not store.key_is_expired(db, key, now))
+        return sorted(key for key in self._target_node.store.live_keys(0)
+                      if slot_for_key(key) == self.slot)
 
     def _source_holds(self, key: bytes) -> bool:
-        store = self._source_node.store
-        db = store.databases[0]
-        return (key in db
-                and not store.key_is_expired(db, key, store.clock.now()))
+        return self._source_node.store.has_live_key(key, 0)
 
     def _move_back(self, key: bytes) -> None:
         target = self._target_node.store
@@ -541,6 +530,8 @@ class GDPRSlotMigrator(_SlotMigrationBase):
                 target.kv.execute("PEXPIREAT", key,
                                   int(deadline * 1000))
             target.index.add(key, metadata)
+            target.kv.annotate_metadata(key, metadata.owner,
+                                        metadata.purposes)
             target.locations.record_stored(key, target.config.region)
             target.audit.append(
                 principal=MIGRATOR_PRINCIPAL, operation="migrate-in",
@@ -605,6 +596,8 @@ class GDPRSlotMigrator(_SlotMigrationBase):
         if deadline is not None:
             source.kv.execute("PEXPIREAT", key, int(deadline * 1000))
         source.index.add(key, metadata)
+        source.kv.annotate_metadata(key, metadata.owner,
+                                    metadata.purposes)
         source.locations.record_stored(key, source.config.region)
         source.audit.append(
             principal=MIGRATOR_PRINCIPAL, operation="migrate-return",

@@ -8,7 +8,7 @@ replicas to every shard of a cluster and answers the compliance question
 at cluster scope:
 
 * :class:`ReplicatedShard` is one shard's replication group -- the
-  primary :class:`~repro.kvstore.store.KeyValueStore` plus N replicas,
+  primary :class:`~repro.engine.base.StorageEngine` plus N replicas,
   each behind its own configurable one-way delay.  On a scheduling clock
   the group pumps itself from recurring **daemon timer events**, so in
   event-driven mode replica lag is measurable on the same timeline the
@@ -58,11 +58,11 @@ from typing import (
 
 from ..common.clock import Clock
 from ..common.errors import ClusterError
+from ..engine.base import StorageEngine
 from ..kvstore.replication import ReplicationLink, ReplicationManager
-from ..kvstore.store import KeyValueStore
 from .client import command_keys
 
-ReplicaFactory = Callable[[int], KeyValueStore]
+ReplicaFactory = Callable[[int], StorageEngine]
 
 
 def _resolve_delays(num_replicas: int, delay: float,
@@ -100,7 +100,7 @@ class ReplicatedShard:
     ``replica_factory`` to model heavier replicas (their own AOF, say).
     """
 
-    def __init__(self, name: str, primary: KeyValueStore,
+    def __init__(self, name: str, primary: StorageEngine,
                  num_replicas: int = 1, delay: float = 0.001,
                  delays: Optional[Sequence[float]] = None,
                  clock: Optional[Clock] = None,
@@ -126,7 +126,7 @@ class ReplicatedShard:
             self.full_sync_all()
 
     @property
-    def primary(self) -> KeyValueStore:
+    def primary(self) -> StorageEngine:
         return self.manager.primary
 
     @property
@@ -212,7 +212,7 @@ class ClusterReplication:
 
     @classmethod
     def attach(cls, clock: Clock,
-               shards: Iterable[Tuple[int, KeyValueStore,
+               shards: Iterable[Tuple[int, StorageEngine,
                                       Optional[Clock]]],
                replicas_per_shard: int = 1, delay: float = 0.001,
                delays: Optional[Sequence[float]] = None,
@@ -237,7 +237,7 @@ class ClusterReplication:
             replication.start_pumps(pump_interval)
         return replication
 
-    def add_shard(self, index: int, primary: KeyValueStore,
+    def add_shard(self, index: int, primary: StorageEngine,
                   num_replicas: int = 1, delay: float = 0.001,
                   delays: Optional[Sequence[float]] = None,
                   name: Optional[str] = None,
@@ -282,7 +282,7 @@ class ClusterReplication:
         return sum(group.backlog() for group in self.groups.values())
 
     def rebuild_shard(self, index: int,
-                      primary: KeyValueStore) -> ReplicatedShard:
+                      primary: StorageEngine) -> ReplicatedShard:
         """Re-home shard ``index``'s replication group onto a new
         primary (the crash-recovery path: the recovered shard is a fresh
         store, so the old group's write-stream subscription is dead).

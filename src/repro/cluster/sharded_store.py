@@ -55,6 +55,7 @@ from ..gdpr.rights import (
     right_to_erasure,
     right_to_object,
 )
+from ..engine.base import StorageEngine
 from ..gdpr.store import CONTROLLER, GDPRConfig, GDPRStore
 from ..kvstore.store import KeyValueStore, StoreConfig
 from .migration import GDPRSlotMigrator, MigrationReceipt
@@ -62,7 +63,12 @@ from .replication import ClusterReplication
 from .slots import SlotMap, slot_for_key
 
 GDPRConfigFactory = Callable[[int], GDPRConfig]
-KVFactory = Callable[[int, Clock], KeyValueStore]
+# ``kv_factory`` may build *any* storage engine -- the Redis-like
+# default below, or ``repro.sqlstore.RelationalStore`` for the paper's
+# relational comparison; every shard facility (rights fan-out, slot
+# migration, replication groups, AOF/WAL recovery) runs on the engine
+# interface.
+KVFactory = Callable[[int, Clock], StorageEngine]
 
 
 @dataclass(frozen=True)
@@ -104,7 +110,7 @@ class ShardedGDPRStore:
             def config_factory(index: int) -> GDPRConfig:
                 return GDPRConfig(node_id=f"shard-{index}")
         if kv_factory is None:
-            def kv_factory(index: int, kv_clock: Clock) -> KeyValueStore:
+            def kv_factory(index: int, kv_clock: Clock) -> StorageEngine:
                 return KeyValueStore(
                     StoreConfig(appendonly=True, aof_log_reads=True),
                     clock=kv_clock)

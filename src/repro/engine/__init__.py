@@ -1,0 +1,31 @@
+"""Pluggable storage engines behind one interface.
+
+``repro.engine.base.StorageEngine`` is the contract; concrete engines:
+
+* :class:`repro.kvstore.store.KeyValueStore` -- the Redis-like
+  hash-table store (``engine_name="redislike"``);
+* :class:`repro.sqlstore.engine.RelationalStore` -- the PostgreSQL-style
+  relational backend (``engine_name="relational"``).
+
+Importing the engine modules registers them in :data:`ENGINES`.
+"""
+
+from .base import (
+    ENGINES,
+    DeletionListener,
+    EngineStats,
+    StorageEngine,
+    StoredRecord,
+    WriteListener,
+    register_engine,
+)
+
+__all__ = [
+    "ENGINES",
+    "DeletionListener",
+    "EngineStats",
+    "StorageEngine",
+    "StoredRecord",
+    "WriteListener",
+    "register_engine",
+]

@@ -1,0 +1,233 @@
+"""The storage-engine interface every upper layer programs against.
+
+The paper's central experiment runs the *same* GDPR feature set over two
+different storage systems -- a Redis-like key-value store and PostgreSQL
+-- and compares what compliance costs each.  Making that comparison
+reproducible end-to-end means the GDPR layer, the RESP servers, the
+cluster (sharding, migration, replication), and the YCSB adapters must
+not care which engine they sit on.  :class:`StorageEngine` is that seam.
+
+An engine owns a keyspace and speaks the command vocabulary (``execute``
+takes Redis-shaped argv; the relational engine translates each command
+into a prepared SQL statement internally).  Around the commands, the
+interface pins down the observation and durability seams the stack is
+built on:
+
+* **Write-stream taps** (:meth:`add_write_listener`) -- the effective,
+  post-translation write stream (expirations travel as DELs, relative
+  TTLs as absolute PEXPIREAT).  Replication links and slot migrators
+  subscribe here.
+* **Deletion taps** (:meth:`add_deletion_listener`) -- every key removal
+  with its reason (``del`` / ``lazy-expire`` / ``active-expire``).  The
+  GDPR layer timestamps erasures off this; migrators cascade deletes.
+* **Keyspace views** (:meth:`live_keys`, :meth:`has_live_key`,
+  :meth:`scan_records`, :meth:`key_count`) -- expiry-aware reads of the
+  keyspace that never mutate it.  Slot-aware servers, migrators, and the
+  GDPR index rebuild use these instead of poking engine internals.
+* **Durability hooks** (:attr:`aof_log`, :meth:`replay_aof`,
+  :meth:`rewrite_aof`, snapshots) -- one name for "the engine's durable
+  command log" whether it is a Redis AOF or a relational WAL, so erasure
+  residual checks and crash recovery work identically on both.
+* **Replica spawning** (:meth:`spawn_replica`) -- a fresh, zero-cost
+  same-engine store for replication defaults, so a relational primary
+  gets relational replicas without the replication layer knowing.
+* **Metadata-column hooks** (:meth:`annotate_metadata`,
+  :meth:`keys_of_owner`) -- the paper's schema split: the relational
+  engine stores GDPR metadata as extra *indexed columns* and can answer
+  owner queries natively; the key-value engine keeps the sidecar
+  metadata index, so the base implementations are no-ops.
+
+Costs stay engine-specific: each engine charges its own CPU, device,
+and log costs to the clock it was built on, which is what makes the
+``backends`` bench scenario's per-feature comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Type,
+)
+
+DeletionListener = Callable[[int, bytes, str, float], None]
+# (db_index, translated argv) for every effective write -- the stream a
+# replica applies.  Commands arrive post-translation (PEXPIREAT, DELs
+# for expirations) so replicas converge deterministically.
+WriteListener = Callable[[int, List[bytes]], None]
+
+
+class StoredRecord(NamedTuple):
+    """One live keyspace entry, as :meth:`StorageEngine.scan_records`
+    yields it: the key, the engine-native value, and the absolute expiry
+    deadline (seconds on the engine's clock), if any."""
+
+    key: bytes
+    value: Any
+    expire_at: Optional[float]
+
+
+class EngineStats:
+    """Counters every engine maintains (the INFO-style view)."""
+
+    def __init__(self) -> None:
+        self.commands_processed = 0
+        self.expired_keys = 0
+        self.deleted_keys = 0
+        self.keyspace_hits = 0
+        self.keyspace_misses = 0
+
+
+class StorageEngine:
+    """Abstract base for storage backends.
+
+    Subclasses must provide the attributes ``clock``, ``config``,
+    ``stats``, ``monitor``, and ``aof_log`` (the durable command log, or
+    None when durability is off) in addition to the abstract methods
+    below.  Listener management is implemented here so every engine
+    shares one subscription semantics.
+    """
+
+    #: Registry name ("redislike", "relational", ...).
+    engine_name: str = "abstract"
+
+    #: True when the engine stores GDPR metadata as indexed columns
+    #: (the relational schema approach); the GDPR layer then prefers
+    #: :meth:`keys_of_owner` over its sidecar index for owner queries.
+    supports_metadata_columns: bool = False
+
+    def __init__(self) -> None:
+        self.deletion_listeners: List[DeletionListener] = []
+        self.write_listeners: List[WriteListener] = []
+
+    # -- command surface ---------------------------------------------------
+
+    def execute(self, *args: Any, session: Optional[Any] = None) -> Any:
+        """Execute one command (Redis-shaped argv; str/bytes/int/float
+        arguments are normalized to bytes)."""
+        raise NotImplementedError
+
+    def session(self, db_index: int = 0) -> Any:
+        """A fresh client session (its own SELECTed database)."""
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        """Run due background work (expiry cycles, log fsync, vacuum)."""
+        raise NotImplementedError
+
+    # -- keyspace views (expiry-aware, never mutating) ---------------------
+
+    def live_keys(self, db_index: int = 0) -> List[bytes]:
+        """Every non-expired key, in the engine's natural order."""
+        raise NotImplementedError
+
+    def has_live_key(self, key: bytes, db_index: int = 0) -> bool:
+        """Does the keyspace currently serve ``key``?  (No lazy-expire
+        side effects: a pure visibility probe.)"""
+        raise NotImplementedError
+
+    def scan_records(self, db_index: int = 0) -> Iterator[StoredRecord]:
+        """Iterate live records -- the restart/index-rebuild path."""
+        raise NotImplementedError
+
+    def key_count(self, db_index: int = 0) -> int:
+        """Number of keys (expired-but-unreclaimed entries included,
+        matching DBSIZE semantics on both engines)."""
+        raise NotImplementedError
+
+    # -- durability --------------------------------------------------------
+
+    def save_snapshot(self) -> bytes:
+        """Point-in-time serialization of the whole keyspace."""
+        raise NotImplementedError
+
+    def load_snapshot(self, data: bytes) -> int:
+        """Restore from snapshot bytes; returns records loaded."""
+        raise NotImplementedError
+
+    def replay_aof(self, data: Optional[bytes] = None,
+                   tolerate_truncated_tail: bool = True) -> int:
+        """Rebuild state from the durable command log (AOF or WAL)."""
+        raise NotImplementedError
+
+    def rewrite_aof(self) -> int:
+        """Compact the durable command log to current live state
+        (BGREWRITEAOF / WAL checkpoint); returns the new log size."""
+        raise NotImplementedError
+
+    # -- replication -------------------------------------------------------
+
+    def spawn_replica(self, clock: Optional[Any] = None) -> "StorageEngine":
+        """A fresh same-engine store suitable as a replication target:
+        zero configured costs (the replica's apply work must not slow
+        the primary's timeline) and no durable log of its own."""
+        raise NotImplementedError
+
+    # -- GDPR metadata columns (relational schema hooks) -------------------
+
+    def annotate_metadata(self, key: str, owner: str,
+                          purposes: Iterable[str]) -> None:
+        """Record GDPR metadata for ``key`` in engine-native storage.
+
+        The relational engine implements this as an UPDATE of its
+        indexed ``owner``/``purposes`` columns; key-value engines keep
+        metadata in the sealed envelope plus the GDPR layer's sidecar
+        index, so the default is a no-op."""
+
+    def keys_of_owner(self, owner: str) -> Optional[List[str]]:
+        """Keys whose metadata columns name ``owner``, or None when the
+        engine has no native metadata index (caller falls back to the
+        GDPR layer's sidecar)."""
+        return None
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_deletion_listener(self, listener: DeletionListener) -> None:
+        """Subscribe to every key removal (reason: del / lazy-expire /
+        active-expire).  The GDPR layer uses this to timestamp
+        erasures."""
+        self.deletion_listeners.append(listener)
+
+    def remove_deletion_listener(self, listener: DeletionListener) -> None:
+        """Unsubscribe a deletion listener (no-op if absent); slot
+        migrators detach when their migration finishes."""
+        if listener in self.deletion_listeners:
+            self.deletion_listeners.remove(listener)
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Subscribe to the effective-write stream (replication feed)."""
+        self.write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        """Unsubscribe a write listener (no-op if absent)."""
+        if listener in self.write_listeners:
+            self.write_listeners.remove(listener)
+
+    def notify_deletion(self, db_index: int, key: bytes, reason: str,
+                        when: float) -> None:
+        for listener in self.deletion_listeners:
+            listener(db_index, key, reason, when)
+
+    def notify_write(self, db_index: int, argv: List[bytes]) -> None:
+        for listener in self.write_listeners:
+            listener(db_index, argv)
+
+
+#: name -> engine class; the ``backends`` scenario and the conformance
+#: suite iterate this.
+ENGINES: Dict[str, Type[StorageEngine]] = {}
+
+
+def register_engine(name: str, cls: Type[StorageEngine]) -> None:
+    """Register an engine class under ``name`` (idempotent per class)."""
+    existing = ENGINES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"engine name {name!r} already registered "
+                         f"to {existing.__name__}")
+    ENGINES[name] = cls

@@ -58,6 +58,11 @@ class LocationManager:
             raise LocationViolationError(f"unknown region {region_code!r}")
         self._node_region[node_id] = region_code
 
+    def has_node(self, node_id: str) -> bool:
+        """Has ``node_id`` been placed in a region?  (The GDPR store
+        uses this to avoid re-placing a pre-configured node.)"""
+        return node_id in self._node_region
+
     def node_region(self, node_id: str) -> str:
         region = self._node_region.get(node_id)
         if region is None:

@@ -35,6 +35,7 @@ from ..common.errors import (
 )
 from ..crypto.keystore import KeyStore
 from ..crypto.pseudonymize import Pseudonymizer
+from ..engine.base import StorageEngine
 from ..kvstore.store import KeyValueStore, StoreConfig
 from .access_control import AccessController, Operation, Principal
 from .audit import AuditDurability, AuditLog
@@ -81,9 +82,19 @@ class ErasureEvent:
 
 
 class GDPRStore:
-    """The GDPR-compliant store facade."""
+    """The GDPR-compliant store facade.
 
-    def __init__(self, kv: Optional[KeyValueStore] = None,
+    ``kv`` is any :class:`~repro.engine.base.StorageEngine` -- the
+    Redis-like :class:`~repro.kvstore.store.KeyValueStore` (default) or
+    the relational :class:`~repro.sqlstore.engine.RelationalStore`.
+    The layer programs strictly against the engine interface (commands,
+    deletion taps, keyspace scans, durability hooks); on engines that
+    store GDPR metadata as indexed columns it additionally annotates
+    each record's row and prefers the engine's native owner index for
+    subject lookups.
+    """
+
+    def __init__(self, kv: Optional[StorageEngine] = None,
                  config: Optional[GDPRConfig] = None,
                  keystore: Optional[KeyStore] = None,
                  audit: Optional[AuditLog] = None,
@@ -101,8 +112,7 @@ class GDPRStore:
         self.access = access if access is not None else AccessController()
         self.locations = locations if locations is not None \
             else LocationManager()
-        if self.config.node_id not in getattr(
-                self.locations, "_node_region", {}):
+        if not self.locations.has_node(self.config.node_id):
             self.locations.place_node(self.config.node_id,
                                       self.config.region)
         self.policies = policies if policies is not None else PolicyEngine()
@@ -203,6 +213,11 @@ class GDPRStore:
             millis = int(deadline * 1000)
             self.kv.execute("PEXPIREAT", key, millis)
         self.index.add(key, metadata)
+        # Engines with native metadata columns (the relational schema)
+        # also record owner/purposes in the row, indexed; a no-op on the
+        # key-value engine, whose metadata lives in the sealed envelope
+        # plus this sidecar index.
+        self.kv.annotate_metadata(key, metadata.owner, metadata.purposes)
         self.locations.record_stored(key, self.config.region)
         self._record_audit(principal.name, "put", key, metadata.owner,
                            purpose, "ok")
@@ -277,12 +292,22 @@ class GDPRStore:
         if deadline is not None:
             self.kv.execute("PEXPIREAT", key, int(deadline * 1000))
         self.index.add(key, metadata)
+        self.kv.annotate_metadata(key, metadata.owner, metadata.purposes)
         self._record_audit(principal.name, "update-metadata", key,
                            metadata.owner, None, "ok")
 
     # -- group access (Art. 5 / 21) --------------------------------------------------
 
     def keys_of_subject(self, subject: str) -> List[str]:
+        """Every key the subject owns.
+
+        On engines with native metadata columns this is one indexed
+        query against the row data (the relational schema's payoff);
+        otherwise the sidecar inverted index answers.
+        """
+        native = self.kv.keys_of_owner(subject)
+        if native is not None:
+            return native
         return self.index.keys_of_owner(subject)
 
     def process_for_purpose(self, purpose: str,
@@ -318,7 +343,7 @@ class GDPRStore:
         """
         now = self.clock.now()
         entries = [(key, self.index.get_metadata(key))
-                   for key in list(self.index._metadata)]
+                   for key in self.index.keys()]
         overdue = self.policies.overdue(entries, now)
         for key in overdue:
             self.kv.execute("DEL", key)
@@ -329,14 +354,11 @@ class GDPRStore:
     def rebuild_indexes(self) -> int:
         """Rebuild in-memory indexes by scanning the keyspace (restart
         path).  Requires decryptable envelopes; crypto-erased records are
-        skipped (and therefore stay unreachable)."""
+        skipped (and therefore stay unreachable).  The scan goes through
+        the engine's :meth:`~repro.engine.base.StorageEngine.scan_records`
+        view, so it works over any backend."""
         entries: List[Tuple[str, GDPRMetadata]] = []
-        db = self.kv.databases[0]
-        now = self.clock.now()
-        for key_bytes in db.keys():
-            if self.kv.key_is_expired(db, key_bytes, now):
-                continue
-            blob = db.get_value(key_bytes)
+        for key_bytes, blob, _expire_at in self.kv.scan_records(0):
             if not isinstance(blob, bytes):
                 continue
             key = key_bytes.decode("utf-8", "replace")
@@ -361,6 +383,8 @@ class GDPRStore:
                 entries.append((key, recovered))
         count = self.index.rebuild(entries)
         for key, metadata in entries:
+            self.kv.annotate_metadata(key, metadata.owner,
+                                      metadata.purposes)
             self.locations.record_stored(key, self.config.region)
         return count
 
@@ -385,7 +409,7 @@ class GDPRStore:
         }
 
     def subject_exists(self, subject: str) -> bool:
-        return bool(self.index.keys_of_owner(subject))
+        return bool(self.keys_of_subject(subject))
 
     def require_subject(self, subject: str) -> None:
         if not self.subject_exists(subject):

@@ -28,8 +28,9 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from ..common.clock import Clock
+from ..engine.base import StorageEngine
 from .commands import Session
-from .store import KeyValueStore
+from .store import KeyValueStore  # noqa: F401  (re-export for callers)
 
 
 @dataclass
@@ -42,7 +43,7 @@ class ReplicaStats:
 class ReplicationLink:
     """One replica and its in-flight command queue."""
 
-    def __init__(self, name: str, replica: KeyValueStore, clock: Clock,
+    def __init__(self, name: str, replica: StorageEngine, clock: Clock,
                  delay: float = 0.001) -> None:
         if delay < 0:
             raise ValueError("replication delay cannot be negative")
@@ -120,7 +121,7 @@ class ReplicationManager:
     on the same timeline the pump events fire on.
     """
 
-    def __init__(self, primary: KeyValueStore,
+    def __init__(self, primary: StorageEngine,
                  clock: Optional[Clock] = None) -> None:
         self.primary = primary
         self.clock = clock if clock is not None else primary.clock
@@ -129,16 +130,16 @@ class ReplicationManager:
         primary.add_write_listener(self._on_write)
 
     def add_replica(self, name: str, delay: float = 0.001,
-                    replica: Optional[KeyValueStore] = None
+                    replica: Optional[StorageEngine] = None
                     ) -> ReplicationLink:
         if self.closed:
             raise ValueError("replication manager is closed")
         if name in self.links:
             raise ValueError(f"replica {name!r} already attached")
         if replica is None:
-            from .store import StoreConfig
-
-            replica = KeyValueStore(StoreConfig(), clock=self.clock)
+            # Same-engine by construction: a relational primary gets
+            # relational replicas, a KV primary gets KV replicas.
+            replica = self.primary.spawn_replica(clock=self.clock)
         link = ReplicationLink(name, replica, self.clock, delay)
         self.links[name] = link
         return link
@@ -192,13 +193,8 @@ class ReplicationManager:
 
     def key_visible_anywhere(self, key: bytes, db_index: int = 0) -> bool:
         """Is the key still readable on the primary or any replica?"""
-        now = self.clock.now()
         stores = [self.primary] + [l.replica for l in self.links.values()]
-        for store in stores:
-            db = store.databases[db_index]
-            if key in db and not store.key_is_expired(db, key, now):
-                return True
-        return False
+        return any(store.has_live_key(key, db_index) for store in stores)
 
     def erasure_horizon(self, key: bytes, step: float = 0.001,
                         max_wait: float = 60.0,

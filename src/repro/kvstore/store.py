@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from ..common.clock import Clock, SimClock
 from ..common.errors import PersistenceError
 from ..device.append_log import AppendLog
+from ..engine.base import StorageEngine, StoredRecord, register_engine
 from . import cmd_admin  # noqa: F401  (imports register commands)
 from . import cmd_collections  # noqa: F401
 from . import cmd_hash  # noqa: F401
@@ -31,11 +32,8 @@ from .monitor import MonitorFeed
 from .slowlog import Slowlog
 from . import snapshot as snapshot_format
 
-DeletionListener = Callable[[int, bytes, str, float], None]
-# (db_index, translated argv) for every effective write -- the stream a
-# replica applies.  Commands arrive post-translation (PEXPIREAT, DELs for
-# expirations) so replicas converge deterministically, as in Redis.
-WriteListener = Callable[[int, List[bytes]], None]
+# Re-exported from the engine interface (pre-refactor import sites).
+from ..engine.base import DeletionListener, WriteListener  # noqa: E402,F401
 
 
 @dataclass
@@ -65,21 +63,21 @@ class StoreConfig:
     extra: Dict[str, str] = field(default_factory=dict)
 
 
-class StoreStats:
-    def __init__(self) -> None:
-        self.commands_processed = 0
-        self.expired_keys = 0
-        self.deleted_keys = 0
-        self.keyspace_hits = 0
-        self.keyspace_misses = 0
+# One counter contract for every engine (repro.engine.base); the old
+# name stays as an alias for pre-refactor callers.
+from ..engine.base import EngineStats as StoreStats  # noqa: E402
 
 
-class KeyValueStore:
-    """A single-node, single-threaded key-value store."""
+class KeyValueStore(StorageEngine):
+    """A single-node, single-threaded key-value store (the "redislike"
+    :class:`~repro.engine.base.StorageEngine`)."""
+
+    engine_name = "redislike"
 
     def __init__(self, config: Optional[StoreConfig] = None,
                  clock: Optional[Clock] = None,
                  aof_log: Optional[AppendLog] = None) -> None:
+        super().__init__()
         self.config = config if config is not None else StoreConfig()
         self.clock = clock if clock is not None else SimClock()
         self.rng = random.Random(self.config.seed)
@@ -104,8 +102,6 @@ class KeyValueStore:
                 record_per_byte_cost=self.config.aof_record_per_byte_cost)
         self.last_snapshot: Optional[bytes] = None
         self.last_snapshot_at: Optional[float] = None
-        self.deletion_listeners: List[DeletionListener] = []
-        self.write_listeners: List[WriteListener] = []
         self._default_session = Session()
         self._loading = False
         self._last_cron = self.clock.now()
@@ -161,8 +157,7 @@ class KeyValueStore:
                     self._maybe_auto_rewrite(self.clock.now())
             if effective_write and self.write_listeners:
                 for record in records:
-                    for listener in self.write_listeners:
-                        listener(session.db_index, record)
+                    self.notify_write(session.db_index, record)
         self.tick()
         return reply
 
@@ -241,9 +236,7 @@ class KeyValueStore:
         if existed:
             self.expiry.note_expiry_cleared(key)
             self.stats.deleted_keys += 1
-            now = self.clock.now()
-            for listener in self.deletion_listeners:
-                listener(db.index, key, reason, now)
+            self.notify_deletion(db.index, key, reason, self.clock.now())
         return existed
 
     def set_key_expiry(self, db: Database, key: bytes,
@@ -274,8 +267,7 @@ class KeyValueStore:
         # the AOF converge deterministically.
         if self.aof is not None:
             self.aof.feed_command(db.index, [b"DEL", key], is_write=True)
-        for listener in self.write_listeners:
-            listener(db.index, [b"DEL", key])
+        self.notify_write(db.index, [b"DEL", key])
 
     # -- cron ---------------------------------------------------------------------
 
@@ -460,24 +452,43 @@ class KeyValueStore:
                     f"expires={db.volatile_count}")
         return "\n".join(lines) + "\n"
 
-    # -- listeners -------------------------------------------------------------------
+    # -- engine interface: keyspace views & replication --------------------------
+    # (Listener management is inherited from StorageEngine.)
 
-    def add_deletion_listener(self, listener: DeletionListener) -> None:
-        """Subscribe to every key removal (reason: del / lazy-expire /
-        active-expire).  The GDPR layer uses this to timestamp erasures."""
-        self.deletion_listeners.append(listener)
+    def live_keys(self, db_index: int = 0) -> List[bytes]:
+        """Every non-expired key of one database (no lazy-expire side
+        effects); the slot-migration scan and importing-slot filters
+        read the keyspace through this."""
+        db = self.databases[db_index]
+        now = self.clock.now()
+        return [key for key in db.keys()
+                if not self.key_is_expired(db, key, now)]
 
-    def remove_deletion_listener(self, listener: DeletionListener) -> None:
-        """Unsubscribe a deletion listener (no-op if absent); slot
-        migrators detach when their migration finishes."""
-        if listener in self.deletion_listeners:
-            self.deletion_listeners.remove(listener)
+    def has_live_key(self, key: bytes, db_index: int = 0) -> bool:
+        db = self.databases[db_index]
+        return (key in db
+                and not self.key_is_expired(db, key, self.clock.now()))
 
-    def add_write_listener(self, listener: WriteListener) -> None:
-        """Subscribe to the effective-write stream (replication feed)."""
-        self.write_listeners.append(listener)
+    def scan_records(self, db_index: int = 0):
+        """Live (key, value, expire_at) records -- the GDPR index
+        rebuild path."""
+        db = self.databases[db_index]
+        now = self.clock.now()
+        for key in db.keys():
+            if self.key_is_expired(db, key, now):
+                continue
+            yield StoredRecord(key, db.get_value(key), db.get_expiry(key))
 
-    def remove_write_listener(self, listener: WriteListener) -> None:
-        """Unsubscribe a write listener (no-op if absent)."""
-        if listener in self.write_listeners:
-            self.write_listeners.remove(listener)
+    def key_count(self, db_index: int = 0) -> int:
+        return len(self.databases[db_index])
+
+    def spawn_replica(self, clock: Optional[Clock] = None) -> "KeyValueStore":
+        """A zero-cost plain store on ``clock`` (default: this store's)
+        -- the replication layer's default replica, as in
+        :class:`~repro.engine.base.StorageEngine`."""
+        return KeyValueStore(
+            StoreConfig(),
+            clock=clock if clock is not None else self.clock)
+
+
+register_engine(KeyValueStore.engine_name, KeyValueStore)

@@ -1,0 +1,861 @@
+"""RelationalStore: the PostgreSQL-style storage engine.
+
+The paper implements its GDPR feature set in *two* systems -- Redis and
+PostgreSQL -- and compares what compliance costs each.  This module is
+the second system: a simulated relational engine behind the same
+:class:`~repro.engine.base.StorageEngine` interface the key-value store
+implements, so the GDPR layer, cluster sharding, replication groups,
+slot migration, and the YCSB drivers run over it unchanged.
+
+It keeps the command vocabulary at the interface (the driver translates
+KV-shaped operations into prepared statements, as a Redis-compatibility
+layer over a relational core would) while modelling what is structurally
+different inside:
+
+* **Ordered heap + B-tree access paths** (:mod:`.table`): point lookups
+  descend a primary-key index whose depth grows with table size; range
+  scans walk keys in order natively (no sorted-set shadow index).
+* **Per-statement parse/plan cost with a plan cache** (:mod:`.planner`):
+  the first execution of each statement shape pays parse + plan, later
+  ones reuse the prepared plan -- the relational engine's fixed
+  per-operation overhead, honestly amortized.
+* **WAL-style durability** (:mod:`.wal`): committed mutations append
+  logical statements to a write-ahead log on the device layer, with the
+  same always/everysec/no fsync spectrum the AOF experiment measures
+  (``synchronous_commit``, in Postgres terms) and ``wal_log_reads`` as
+  the paper's statement-logging monitoring configuration.
+* **GDPR metadata as indexed columns**: ``owner``/``purposes`` live in
+  the row (the paper's schema change) behind
+  :meth:`~RelationalStore.annotate_metadata`, and
+  :meth:`~RelationalStore.keys_of_owner` answers subject queries from
+  the secondary index instead of a sidecar.
+* **Retention as an indexed sweep**: expiry is an ``expire_at`` column;
+  a vacuum-style cycle deletes due rows via the deadline index
+  (``DELETE FROM records WHERE expire_at <= now()``), with lazy
+  reclamation on access, reasons reported exactly as the key-value
+  engine reports them (``lazy-expire`` / ``active-expire``).
+
+Deletion listeners, the effective-write stream (absolute ``PEXPIREAT``
+translation included), DUMP/RESTORE payloads, and snapshots all follow
+the engine contract, so replication links, slot migrators, and erasure
+residual checks behave identically over either engine.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..common.clock import Clock, SimClock
+from ..common.errors import PersistenceError, WrongTypeError
+from ..common.hashing import crc32_of
+from ..common.resp import RespError, SimpleString
+from ..device.append_log import AppendLog
+from ..engine.base import EngineStats, StorageEngine, StoredRecord, \
+    register_engine
+from ..kvstore.commands import Session, glob_match, normalize_args, \
+    parse_int
+from ..kvstore.monitor import MonitorFeed
+from ..kvstore.snapshot import dump_value, load_value
+from .planner import PlanCache
+from .table import Row, Table, btree_depth
+from .wal import FsyncPolicy, WalWriter, checkpoint, replay_commands
+
+OK = SimpleString("OK")
+PONG = SimpleString("PONG")
+
+SNAPSHOT_MAGIC = b"REPROSQL1"
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+@dataclass
+class SqlConfig:
+    """Tunables of the relational engine (the Postgres-shaped knobs).
+
+    Cost fields default to zero so unit tests run on a free clock; the
+    ``backends`` scenario installs calibrated values.  ``wal_fsync``
+    spans the paper's durability spectrum (``synchronous_commit``);
+    ``wal_log_reads`` is the statement-logging monitoring
+    configuration; ``checkpoint_interval`` bounds how long deleted data
+    may linger in the WAL (the section 4.3 concern).
+    """
+
+    hz: int = 10
+    wal_enabled: bool = True
+    wal_fsync: str = "everysec"
+    wal_log_reads: bool = False
+    wal_record_base_cost: float = 0.0
+    wal_record_per_byte_cost: float = 0.0
+    checkpoint_interval: float = 0.0     # seconds; 0 disables
+    statement_cpu_cost: float = 0.0      # executor overhead per statement
+    statement_parse_cost: float = 0.0    # plan-cache miss: parse
+    statement_plan_cost: float = 0.0     # plan-cache miss: optimize
+    index_node_cost: float = 0.0         # per B-tree node visited
+    row_base_cost: float = 0.0           # per row touched
+    row_per_byte_cost: float = 0.0       # per payload byte moved
+    btree_fanout: int = 128
+    seed: int = 0
+
+
+class RelationalStore(StorageEngine):
+    """A single-node relational engine (the "relational"
+    :class:`~repro.engine.base.StorageEngine`)."""
+
+    engine_name = "relational"
+    supports_metadata_columns = True
+
+    def __init__(self, config: Optional[SqlConfig] = None,
+                 clock: Optional[Clock] = None,
+                 wal_log: Optional[AppendLog] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else SqlConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.stats = EngineStats()
+        self.monitor = MonitorFeed(clock=self.clock)
+        self.table = Table()
+        self.plans = PlanCache(self.clock,
+                               parse_cost=self.config.statement_parse_cost,
+                               plan_cost=self.config.statement_plan_cost)
+        self.wal: Optional[WalWriter] = None
+        self.aof_log: Optional[AppendLog] = None
+        if self.config.wal_enabled:
+            self.aof_log = wal_log if wal_log is not None \
+                else AppendLog(clock=self.clock, name="records.wal")
+            self.wal = WalWriter(
+                self.aof_log, self.clock,
+                policy=FsyncPolicy.parse(self.config.wal_fsync),
+                log_reads=self.config.wal_log_reads,
+                record_base_cost=self.config.wal_record_base_cost,
+                record_per_byte_cost=self.config.wal_record_per_byte_cost)
+        self._default_session = Session()
+        self._loading = False
+        self._last_vacuum = self.clock.now()
+        self._last_checkpoint = self.clock.now()
+        self.vacuum_runs = 0
+        self.rewrites_completed = 0
+        self.last_snapshot: Optional[bytes] = None
+        self.last_snapshot_at: Optional[float] = None
+
+    # -- cost accounting ---------------------------------------------------
+
+    def _charge_statement(self, name: str, sql: str) -> None:
+        self.plans.prepare(name, sql)
+        if self.config.statement_cpu_cost:
+            self.clock.advance(self.config.statement_cpu_cost)
+
+    def _charge_index(self, traversals: int = 1) -> None:
+        cost = self.config.index_node_cost
+        if cost and traversals:
+            depth = btree_depth(len(self.table), self.config.btree_fanout)
+            self.clock.advance(cost * depth * traversals)
+
+    def _charge_rows(self, count: int, nbytes: int = 0) -> None:
+        cost = (self.config.row_base_cost * count
+                + self.config.row_per_byte_cost * nbytes)
+        if cost:
+            self.clock.advance(cost)
+
+    # -- command execution -------------------------------------------------
+
+    def session(self, db_index: int = 0) -> Session:
+        return Session(db_index)
+
+    def execute(self, *args: Any, session: Optional[Session] = None) -> Any:
+        """Execute one command against the relational core.
+
+        The same entry point shape as the key-value engine: argv in,
+        reply out, store exceptions raised as typed errors.  Each
+        command runs as one (prepared) statement; effective writes are
+        WAL-logged and fed to the write stream post-translation.
+        """
+        argv = normalize_args(args)
+        if not argv:
+            raise ValueError("empty command")
+        name = argv[0].upper()
+        handler = self._HANDLERS.get(name)
+        if handler is None:
+            raise RespError(
+                "ERR unknown command "
+                f"'{name.decode('ascii', 'replace')}'")
+        if session is None:
+            session = self._default_session
+        if session.db_index != 0:
+            raise RespError(
+                "ERR the relational engine has a single database")
+        start = self.clock.now()
+        reply, records = handler(self, argv)
+        self.stats.commands_processed += 1
+        self.monitor.publish(start, 0, argv)
+        if not self._loading:
+            if self.wal is not None:
+                if records:
+                    for record in records:
+                        self.wal.feed_command(0, record, is_write=True)
+                else:
+                    self.wal.feed_command(0, argv, is_write=False)
+                self.wal.post_command()
+            for record in records:
+                self.notify_write(0, record)
+        self.tick()
+        return reply
+
+    # -- row access with lazy expiry ---------------------------------------
+
+    def _propagate_del(self, key: bytes) -> None:
+        if self._loading:
+            return
+        if self.wal is not None:
+            self.wal.feed_command(0, [b"DEL", key], is_write=True)
+        self.notify_write(0, [b"DEL", key])
+
+    def _delete_row(self, key: bytes, reason: str) -> Optional[Row]:
+        row = self.table.delete(key)
+        if row is not None:
+            self.stats.deleted_keys += 1
+            self.notify_deletion(0, key, reason, self.clock.now())
+        return row
+
+    def _reclaim_expired(self, key: bytes, reason: str) -> None:
+        """Shared lazy/vacuum reclamation: delete + propagate the DEL."""
+        self._delete_row(key, reason)
+        self.stats.expired_keys += 1
+        self._propagate_del(key)
+
+    def _live_row(self, key: bytes, for_read: bool = False) -> Optional[Row]:
+        row = self.table.get(key)
+        if row is not None and row.expire_at is not None \
+                and row.expire_at <= self.clock.now():
+            self._reclaim_expired(key, reason="lazy-expire")
+            row = None
+        if for_read:
+            if row is None:
+                self.stats.keyspace_misses += 1
+            else:
+                self.stats.keyspace_hits += 1
+        return row
+
+    # -- statement handlers ------------------------------------------------
+    # Each returns (reply, records): ``records`` is the translated
+    # effective-write stream (empty for reads / no-op writes).
+
+    def _stmt_ping(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 1, name="PING", at_most=2)
+        self._charge_statement("PING", "SELECT 1")
+        if len(argv) == 2:
+            return argv[1], []
+        return PONG, []
+
+    def _stmt_set(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 3, name="SET")
+        self._charge_statement(
+            "SET", "INSERT INTO records(key, value) VALUES ($1, $2) "
+                   "ON CONFLICT (key) DO UPDATE "
+                   "SET value = $2, expire_at = NULL")
+        key, value = argv[1], argv[2]
+        self._live_row(key)                  # lazy-reclaim an expired row
+        self._charge_index()
+        self._charge_rows(1, len(value))
+        self.table.upsert(key, value)
+        return OK, [list(argv[:3])]
+
+    def _stmt_get(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="GET")
+        self._charge_statement(
+            "GET", "SELECT value FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._live_row(argv[1], for_read=True)
+        if row is None:
+            return None, []
+        if not isinstance(row.value, bytes):
+            raise WrongTypeError(
+                "WRONGTYPE Operation against a key holding the wrong "
+                "kind of value")
+        self._charge_rows(1, len(row.value))
+        return row.value, []
+
+    def _stmt_del(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="DEL", variadic=True)
+        self._charge_statement(
+            "DEL", "DELETE FROM records WHERE key = ANY($1)")
+        removed = 0
+        for key in argv[1:]:
+            self._charge_index()
+            if self._live_row(key) is None:
+                continue
+            row = self._delete_row(key, reason="del")
+            self._charge_rows(1, row.payload_bytes() if row else 0)
+            removed += 1
+        return removed, [list(argv)] if removed else []
+
+    def _stmt_exists(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="EXISTS", variadic=True)
+        self._charge_statement(
+            "EXISTS", "SELECT count(*) FROM records WHERE key = ANY($1)")
+        count = 0
+        for key in argv[1:]:
+            self._charge_index()
+            if self._live_row(key, for_read=True) is not None:
+                count += 1
+        return count, []
+
+    def _expire_deadline(self, name: bytes, argv: List[bytes]) -> float:
+        amount = parse_int(argv[2])
+        now = self.clock.now()
+        if name == b"EXPIRE":
+            return now + amount
+        if name == b"PEXPIRE":
+            return now + amount / 1000.0
+        if name == b"EXPIREAT":
+            return float(amount)
+        return amount / 1000.0               # PEXPIREAT
+
+    def _stmt_expire(self, argv: List[bytes]) -> Tuple[Any, List]:
+        name = argv[0].upper()
+        self._check_arity(argv, 3, name=name.decode("ascii"))
+        self._charge_statement(
+            "EXPIRE", "UPDATE records SET expire_at = $2 WHERE key = $1")
+        key = argv[1]
+        self._charge_index()
+        if self._live_row(key) is None:
+            return 0, []
+        deadline = self._expire_deadline(name, argv)
+        if deadline <= self.clock.now():
+            # TTL already in the past: the write is a delete.
+            self._delete_row(key, reason="del")
+            self._charge_rows(1)
+            return 1, [[b"DEL", key]]
+        self.table.set_expiry(key, deadline)
+        self._charge_index()                 # expire_at index maintenance
+        self._charge_rows(1)
+        millis = str(int(deadline * 1000)).encode("ascii")
+        return 1, [[b"PEXPIREAT", key, millis]]
+
+    def _stmt_ttl(self, argv: List[bytes]) -> Tuple[Any, List]:
+        name = argv[0].upper()
+        self._check_arity(argv, 2, name=name.decode("ascii"))
+        self._charge_statement(
+            "TTL", "SELECT expire_at FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._live_row(argv[1], for_read=True)
+        if row is None:
+            return -2, []
+        if row.expire_at is None:
+            return -1, []
+        remaining = row.expire_at - self.clock.now()
+        if name == b"PTTL":
+            return int(round(remaining * 1000)), []
+        return int(round(remaining)), []
+
+    def _stmt_persist(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="PERSIST")
+        self._charge_statement(
+            "PERSIST",
+            "UPDATE records SET expire_at = NULL WHERE key = $1")
+        self._charge_index()
+        row = self._live_row(argv[1])
+        if row is None or not self.table.clear_expiry(argv[1]):
+            return 0, []
+        self._charge_rows(1)
+        return 1, [list(argv)]
+
+    def _wide_row(self, key: bytes, create: bool) -> Optional[Row]:
+        row = self._live_row(key)
+        if row is None:
+            if not create:
+                return None
+            row = self.table.upsert(key, {})
+            return row
+        if isinstance(row.value, bytes):
+            raise WrongTypeError(
+                "WRONGTYPE Operation against a key holding the wrong "
+                "kind of value")
+        return row
+
+    def _stmt_hset(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 4, name="HSET", variadic=True)
+        if len(argv) % 2 != 0:
+            raise RespError(
+                "ERR wrong number of arguments for 'HSET' command")
+        self._charge_statement(
+            "HSET", "INSERT INTO records(key, cols) VALUES ($1, $2) "
+                    "ON CONFLICT (key) DO UPDATE SET cols = "
+                    "records.cols || $2")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=True)
+        added = 0
+        nbytes = 0
+        for index in range(2, len(argv), 2):
+            field, value = argv[index], argv[index + 1]
+            if field not in row.value:
+                added += 1
+            row.value[field] = value
+            nbytes += len(field) + len(value)
+        self._charge_rows(1, nbytes)
+        return added, [list(argv)]
+
+    def _stmt_hget(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 3, name="HGET")
+        self._charge_statement(
+            "HGET", "SELECT cols -> $2 FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=False)
+        if row is None:
+            self.stats.keyspace_misses += 1
+            return None, []
+        self.stats.keyspace_hits += 1
+        value = row.value.get(argv[2])
+        self._charge_rows(1, len(value) if value else 0)
+        return value, []
+
+    def _stmt_hmget(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 3, name="HMGET", variadic=True)
+        self._charge_statement(
+            "HMGET", "SELECT cols -> ANY($2) FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=False)
+        if row is None:
+            self.stats.keyspace_misses += 1
+            return [None] * (len(argv) - 2), []
+        self.stats.keyspace_hits += 1
+        out = [row.value.get(field) for field in argv[2:]]
+        self._charge_rows(1, sum(len(v) for v in out if v))
+        return out, []
+
+    def _stmt_hgetall(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="HGETALL")
+        self._charge_statement(
+            "HGETALL", "SELECT cols FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=False)
+        if row is None:
+            self.stats.keyspace_misses += 1
+            return [], []
+        self.stats.keyspace_hits += 1
+        flat: List[bytes] = []
+        for field in sorted(row.value):
+            flat.append(field)
+            flat.append(row.value[field])
+        self._charge_rows(1, row.payload_bytes())
+        return flat, []
+
+    def _stmt_hlen(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="HLEN")
+        self._charge_statement(
+            "HLEN", "SELECT jsonb_array_length(cols) FROM records "
+                    "WHERE key = $1")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=False)
+        return (len(row.value) if row is not None else 0), []
+
+    def _stmt_hdel(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 3, name="HDEL", variadic=True)
+        self._charge_statement(
+            "HDEL", "UPDATE records SET cols = cols - ANY($2) "
+                    "WHERE key = $1")
+        self._charge_index()
+        row = self._wide_row(argv[1], create=False)
+        if row is None:
+            return 0, []
+        removed = 0
+        for field in argv[2:]:
+            if field in row.value:
+                del row.value[field]
+                removed += 1
+        self._charge_rows(1)
+        if not row.value:
+            self._delete_row(argv[1], reason="del")
+        return removed, [list(argv)] if removed else []
+
+    def _stmt_keys(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="KEYS")
+        self._charge_statement(
+            "KEYS", "SELECT key FROM records WHERE key LIKE $1 "
+                    "ORDER BY key")
+        pattern = argv[1]
+        now = self.clock.now()
+        out = []
+        for row in self.table.rows():
+            if row.expire_at is not None and row.expire_at <= now:
+                continue
+            if glob_match(pattern, row.key):
+                out.append(row.key)
+        self._charge_rows(len(self.table))
+        return out, []
+
+    def _stmt_dbsize(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 1, name="DBSIZE")
+        self._charge_statement(
+            "DBSIZE", "SELECT count(*) FROM records")
+        self._charge_index()
+        return len(self.table), []
+
+    def _stmt_flush(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 1, name="FLUSH")
+        self._charge_statement("FLUSH", "TRUNCATE records")
+        dropped = self.table.clear()
+        self.stats.deleted_keys += dropped
+        self._charge_rows(dropped)
+        return OK, [list(argv)]
+
+    def _stmt_range(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 3, name="RANGE")
+        self._charge_statement(
+            "RANGE", "SELECT key FROM records WHERE key >= $1 "
+                     "ORDER BY key LIMIT $2")
+        count = parse_int(argv[2])
+        if count < 0:
+            raise RespError("ERR LIMIT must be >= 0")
+        self._charge_index()
+        now = self.clock.now()
+        out: List[bytes] = []
+        for key in self.table.iter_from(argv[1]):
+            if len(out) >= count:
+                break
+            row = self.table.get(key)
+            if row is not None and row.expire_at is not None \
+                    and row.expire_at <= now:
+                continue            # dead tuple: the scan walks past it
+            out.append(key)
+        self._charge_rows(len(out))
+        return out, []
+
+    def _stmt_dump(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 2, name="DUMP")
+        self._charge_statement(
+            "DUMP", "SELECT row_image FROM records WHERE key = $1")
+        self._charge_index()
+        row = self._live_row(argv[1], for_read=True)
+        if row is None:
+            return None, []
+        self._charge_rows(1, row.payload_bytes())
+        return dump_value(row.value), []
+
+    def _stmt_restore(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 4, name="RESTORE", variadic=True)
+        self._charge_statement(
+            "RESTORE", "INSERT INTO records(key, row_image) "
+                       "VALUES ($1, $3)")
+        key, ttl_ms = argv[1], parse_int(argv[2])
+        if ttl_ms < 0:
+            raise RespError("ERR Invalid TTL value, must be >= 0")
+        replace_flag = False
+        for option in argv[4:]:
+            if option.upper() == b"REPLACE":
+                replace_flag = True
+            else:
+                raise RespError("ERR syntax error")
+        if self._live_row(key) is not None:
+            if not replace_flag:
+                raise RespError("BUSYKEY Target key name already exists.")
+            self._delete_row(key, reason="del")
+        from ..common.errors import CorruptionError
+        try:
+            value = load_value(argv[3])
+        except CorruptionError:
+            raise RespError(
+                "ERR DUMP payload version or checksum are wrong")
+        if not isinstance(value, (bytes, dict)):
+            raise WrongTypeError(
+                "WRONGTYPE the relational engine stores value and "
+                "wide-column rows only")
+        self._charge_index()
+        self._charge_rows(1, len(argv[3]))
+        self.table.upsert(key, value)
+        records = [[b"RESTORE", key, b"0", argv[3], b"REPLACE"]]
+        if ttl_ms > 0:
+            deadline = self.clock.now() + ttl_ms / 1000.0
+            self.table.set_expiry(key, deadline)
+            self._charge_index()
+            millis = str(int(deadline * 1000)).encode("ascii")
+            records.append([b"PEXPIREAT", key, millis])
+        return OK, records
+
+    def _stmt_gdprmeta(self, argv: List[bytes]) -> Tuple[Any, List]:
+        self._check_arity(argv, 4, name="GDPRMETA")
+        self._charge_statement(
+            "GDPRMETA", "UPDATE records SET owner = $2, purposes = $3 "
+                        "WHERE key = $1")
+        self._charge_index(traversals=2)     # PK descent + owner index
+        if self._live_row(argv[1]) is None:
+            return 0, []
+        self.table.set_metadata(argv[1],
+                                argv[2].decode("utf-8", "replace"),
+                                argv[3].decode("utf-8", "replace"))
+        self._charge_rows(1)
+        return 1, [list(argv)]
+
+    def _stmt_select(self, argv: List[bytes]) -> Tuple[Any, List]:
+        raise RespError(
+            "ERR the relational engine has a single database; "
+            "SELECT is not supported")
+
+    @staticmethod
+    def _check_arity(argv: List[bytes], expected: int, name: str,
+                     variadic: bool = False,
+                     at_most: Optional[int] = None) -> None:
+        if len(argv) < expected or (not variadic and at_most is None
+                                    and len(argv) != expected) \
+                or (at_most is not None and len(argv) > at_most):
+            raise RespError(
+                f"ERR wrong number of arguments for '{name}' command")
+
+    _HANDLERS: Dict[bytes, Callable] = {
+        b"PING": _stmt_ping,
+        b"SET": _stmt_set,
+        b"GET": _stmt_get,
+        b"DEL": _stmt_del,
+        b"UNLINK": _stmt_del,
+        b"EXISTS": _stmt_exists,
+        b"EXPIRE": _stmt_expire,
+        b"PEXPIRE": _stmt_expire,
+        b"EXPIREAT": _stmt_expire,
+        b"PEXPIREAT": _stmt_expire,
+        b"TTL": _stmt_ttl,
+        b"PTTL": _stmt_ttl,
+        b"PERSIST": _stmt_persist,
+        b"HSET": _stmt_hset,
+        b"HMSET": _stmt_hset,
+        b"HGET": _stmt_hget,
+        b"HMGET": _stmt_hmget,
+        b"HGETALL": _stmt_hgetall,
+        b"HLEN": _stmt_hlen,
+        b"HDEL": _stmt_hdel,
+        b"KEYS": _stmt_keys,
+        b"DBSIZE": _stmt_dbsize,
+        b"FLUSHALL": _stmt_flush,
+        b"FLUSHDB": _stmt_flush,
+        b"RANGE": _stmt_range,
+        b"DUMP": _stmt_dump,
+        b"RESTORE": _stmt_restore,
+        b"GDPRMETA": _stmt_gdprmeta,
+        b"SELECT": _stmt_select,
+    }
+
+    # -- background work (vacuum + WAL fsync + checkpoint) -----------------
+
+    def tick(self) -> None:
+        """Run due background work: WAL group fsync, the retention
+        vacuum, and the periodic checkpoint."""
+        now = self.clock.now()
+        if self.wal is not None:
+            self.wal.tick(now)
+        if now - self._last_vacuum >= 1.0 / self.config.hz:
+            self._last_vacuum = now
+            self.vacuum(now)
+        interval = self.config.checkpoint_interval
+        if interval and self.aof_log is not None \
+                and now - self._last_checkpoint >= interval:
+            self.rewrite_aof()
+
+    def vacuum(self, now: Optional[float] = None) -> int:
+        """One retention sweep: delete rows whose ``expire_at`` passed,
+        found via the deadline index; returns rows reclaimed."""
+        if now is None:
+            now = self.clock.now()
+        due = self.table.due_rows(now)
+        if due:
+            self._charge_statement(
+                "VACUUM", "DELETE FROM records WHERE expire_at <= now()")
+            self._charge_index()
+            self._charge_rows(len(due))
+        for key in due:
+            self._reclaim_expired(key, reason="active-expire")
+        if due:
+            self.vacuum_runs += 1
+            if self.wal is not None:
+                self.wal.post_command()
+        return len(due)
+
+    # -- engine interface: keyspace views ----------------------------------
+
+    def live_keys(self, db_index: int = 0) -> List[bytes]:
+        now = self.clock.now()
+        return [row.key for row in self.table.rows()
+                if row.expire_at is None or row.expire_at > now]
+
+    def has_live_key(self, key: bytes, db_index: int = 0) -> bool:
+        row = self.table.get(key)
+        return (row is not None
+                and (row.expire_at is None
+                     or row.expire_at > self.clock.now()))
+
+    def scan_records(self, db_index: int = 0):
+        now = self.clock.now()
+        for row in self.table.rows():
+            if row.expire_at is not None and row.expire_at <= now:
+                continue
+            yield StoredRecord(row.key, row.value, row.expire_at)
+
+    def key_count(self, db_index: int = 0) -> int:
+        return len(self.table)
+
+    # -- GDPR metadata columns ---------------------------------------------
+
+    def annotate_metadata(self, key: str, owner: str,
+                          purposes: Iterable[str]) -> None:
+        """UPDATE the row's indexed metadata columns (the paper's
+        relational schema approach; one extra statement per put)."""
+        self.execute("GDPRMETA", key, owner, ",".join(sorted(purposes)))
+
+    def keys_of_owner(self, owner: str) -> List[str]:
+        """Subject lookup straight off the owner secondary index."""
+        self._charge_statement(
+            "SELECT_BY_OWNER",
+            "SELECT key FROM records WHERE owner = $1 ORDER BY key")
+        self._charge_index()
+        now = self.clock.now()
+        out: List[str] = []
+        for key in self.table.keys_of_owner(owner):
+            row = self.table.get(key)
+            if row is not None and row.expire_at is not None \
+                    and row.expire_at <= now:
+                continue
+            out.append(key.decode("utf-8", "replace"))
+        self._charge_rows(len(out))
+        return out
+
+    # -- durability --------------------------------------------------------
+
+    def save_snapshot(self) -> bytes:
+        """Point-in-time base backup: every row with its expiry and
+        metadata columns, checksummed."""
+        out: List[bytes] = [SNAPSHOT_MAGIC, _U32.pack(len(self.table))]
+        for row in self.table.rows():
+            for blob in (row.key, dump_value(row.value)):
+                out.append(_U32.pack(len(blob)))
+                out.append(blob)
+            flags = (1 if row.expire_at is not None else 0) \
+                | (2 if row.owner is not None else 0)
+            out.append(bytes([flags]))
+            if row.expire_at is not None:
+                out.append(_F64.pack(row.expire_at))
+            if row.owner is not None:
+                owner = row.owner.encode("utf-8")
+                purposes = row.purposes.encode("utf-8")
+                out.append(_U32.pack(len(owner)))
+                out.append(owner)
+                out.append(_U32.pack(len(purposes)))
+                out.append(purposes)
+        body = b"".join(out)
+        data = body + _U32.pack(crc32_of(body))
+        self.last_snapshot = data
+        self.last_snapshot_at = self.clock.now()
+        return data
+
+    def load_snapshot(self, data: bytes) -> int:
+        from ..common.errors import CorruptionError
+
+        if len(data) < len(SNAPSHOT_MAGIC) + 8 \
+                or not data.startswith(SNAPSHOT_MAGIC):
+            raise CorruptionError("not a relational snapshot")
+        body, crc = data[:-4], _U32.unpack(data[-4:])[0]
+        if crc32_of(body) != crc:
+            raise CorruptionError("relational snapshot checksum mismatch")
+        pos = len(SNAPSHOT_MAGIC)
+
+        def take(n: int) -> bytes:
+            nonlocal pos
+            if pos + n > len(body):
+                raise CorruptionError("relational snapshot truncated")
+            chunk = body[pos:pos + n]
+            pos += n
+            return chunk
+
+        count = _U32.unpack(take(4))[0]
+        self.table.clear()
+        for _ in range(count):
+            key = take(_U32.unpack(take(4))[0])
+            value = load_value(take(_U32.unpack(take(4))[0]))
+            if not isinstance(value, (bytes, dict)):
+                raise CorruptionError(
+                    "relational snapshot row has unsupported shape")
+            flags = take(1)[0]
+            self.table.upsert(key, value)
+            if flags & 1:
+                self.table.set_expiry(key, _F64.unpack(take(8))[0])
+            if flags & 2:
+                owner = take(_U32.unpack(take(4))[0]).decode("utf-8")
+                purposes = take(_U32.unpack(take(4))[0]).decode("utf-8")
+                self.table.set_metadata(key, owner, purposes)
+        return count
+
+    def replay_aof(self, data: Optional[bytes] = None,
+                   tolerate_truncated_tail: bool = True) -> int:
+        """Crash recovery: re-execute the WAL's logical statements."""
+        if data is None:
+            if self.aof_log is None:
+                raise PersistenceError("the WAL is not enabled")
+            data = self.aof_log.read_durable()
+        commands = replay_commands(
+            data, tolerate_truncated_tail=tolerate_truncated_tail)
+        session = Session()
+        self._loading = True
+        try:
+            for argv in commands:
+                self.execute(*argv, session=session)
+        finally:
+            self._loading = False
+        return len(commands)
+
+    def rewrite_aof(self) -> int:
+        """WAL checkpoint: compact the log to current live state."""
+        if self.aof_log is None:
+            raise PersistenceError("the WAL is not enabled")
+        size = checkpoint(self)
+        self._last_checkpoint = self.clock.now()
+        self.rewrites_completed += 1
+        return size
+
+    # -- replication -------------------------------------------------------
+
+    def spawn_replica(self, clock: Optional[Clock] = None
+                      ) -> "RelationalStore":
+        """A zero-cost relational replica (no WAL of its own), per the
+        engine contract."""
+        return RelationalStore(
+            SqlConfig(hz=self.config.hz, wal_enabled=False),
+            clock=clock if clock is not None else self.clock)
+
+    # -- introspection -----------------------------------------------------
+
+    def info_text(self) -> str:
+        lines = [
+            "# Server",
+            "engine:relational",
+            f"sim_time:{self.clock.now():.6f}",
+            "",
+            "# Persistence",
+            f"wal_enabled:{1 if self.wal is not None else 0}",
+            f"wal_checkpoints:{self.rewrites_completed}",
+            f"wal_pending_bytes:"
+            f"{self.wal.unsynced_bytes() if self.wal else 0}",
+            "",
+            "# Planner",
+            f"plan_cache_size:{len(self.plans)}",
+            f"plan_cache_hits:{self.plans.hits}",
+            f"plan_cache_misses:{self.plans.misses}",
+            "",
+            "# Stats",
+            f"total_statements_processed:{self.stats.commands_processed}",
+            f"expired_rows:{self.stats.expired_keys}",
+            f"deleted_rows:{self.stats.deleted_keys}",
+            f"vacuum_runs:{self.vacuum_runs}",
+            "",
+            "# Keyspace",
+            f"records:rows={len(self.table)}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def compliant_config(seed: int = 0, **overrides) -> SqlConfig:
+    """The GDPR-monitoring WAL configuration (statement logging of
+    reads, everysec commit), mirroring the key-value engine's
+    ``aof_log_reads`` setup; cost fields still default to zero."""
+    config = SqlConfig(wal_enabled=True, wal_fsync="everysec",
+                       wal_log_reads=True, seed=seed)
+    return dataclasses_replace(config, **overrides)
+
+
+register_engine(RelationalStore.engine_name, RelationalStore)

@@ -1,0 +1,63 @@
+"""Per-statement parse/plan costs with a prepared-statement cache.
+
+A relational engine does work per *statement* that a command-dispatch
+store never pays: the SQL text is parsed, the planner picks access
+paths, and only then does the executor touch rows.  Real drivers
+amortize this with prepared statements -- the first execution of each
+statement shape pays parse + plan, later executions reuse the cached
+plan.  :class:`PlanCache` reproduces exactly that economics on the
+simulated clock, which is why the ``backends`` scenario shows the
+relational engine's *fixed* per-operation overhead rather than a
+parse-per-call caricature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from ..common.clock import Clock
+
+
+class PreparedStatement(NamedTuple):
+    """A cached plan: the statement shape and its SQL flavor text."""
+
+    name: str
+    sql: str
+
+
+class PlanCache:
+    """Charges parse+plan once per statement shape, then serves hits.
+
+    ``parse_cost`` / ``plan_cost`` are charged to ``clock`` on a miss;
+    hits are free (the plan is a pointer lookup).  ``hits`` / ``misses``
+    are exposed for tests and INFO-style reporting.
+    """
+
+    def __init__(self, clock: Clock, parse_cost: float = 0.0,
+                 plan_cost: float = 0.0) -> None:
+        self.clock = clock
+        self.parse_cost = parse_cost
+        self.plan_cost = plan_cost
+        self._plans: Dict[str, PreparedStatement] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def prepare(self, name: str, sql: str) -> PreparedStatement:
+        """The plan for statement shape ``name`` (charging on miss)."""
+        plan = self._plans.get(name)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        cost = self.parse_cost + self.plan_cost
+        if cost:
+            self.clock.advance(cost)
+        plan = PreparedStatement(name, sql)
+        self._plans[name] = plan
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()

@@ -5,6 +5,7 @@ from .adapters import (
     ClusterAdapter,
     GDPRAdapter,
     KVAdapter,
+    SqlAdapter,
     StorageAdapter,
     pack_fields,
     unpack_fields,
@@ -40,6 +41,7 @@ from .workloads import (
 __all__ = [
     "StorageAdapter",
     "KVAdapter",
+    "SqlAdapter",
     "ClientAdapter",
     "ClusterAdapter",
     "GDPRAdapter",

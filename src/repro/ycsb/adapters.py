@@ -3,9 +3,12 @@
 Mirrors YCSB's DB-binding layer.  :class:`KVAdapter` is the YCSB Redis
 binding's exact strategy: records are hashes, plus a sorted-set index keyed
 by a hash of the record key so scan workloads can enumerate windows.
-:class:`ClientAdapter` runs the same commands through the RESP
-client/server path (the TLS experiment); :class:`GDPRAdapter` drives the
-full GDPR layer (metadata, ACL, audit, encryption).
+:class:`SqlAdapter` is the relational binding (the YCSB JDBC strategy):
+records are rows whose YCSB fields are columns, and scans walk the
+primary-key B-tree natively -- no shadow index.  :class:`ClientAdapter`
+runs the same commands through the RESP client/server path (the TLS
+experiment); :class:`GDPRAdapter` drives the full GDPR layer (metadata,
+ACL, audit, encryption) over either engine.
 """
 
 from __future__ import annotations
@@ -107,6 +110,45 @@ class KVAdapter(StorageAdapter):
         self.store.execute("DEL", key)
         if self.maintain_scan_index:
             self.store.execute("ZREM", INDEX_KEY, key)
+
+
+class SqlAdapter(StorageAdapter):
+    """YCSB binding for the relational engine (the JDBC strategy).
+
+    Each record is one row; YCSB fields are columns upserted in a
+    single statement.  Scans need no auxiliary structure: the ordered
+    heap answers ``WHERE key >= start ORDER BY key LIMIT n`` directly
+    (the ``RANGE`` statement), which is the structural advantage the
+    relational backend has for workload E.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def insert(self, key: str, values: Dict[str, bytes]) -> None:
+        args: List = ["HSET", key]
+        for name, payload in values.items():
+            args.append(name)
+            args.append(payload)
+        self.store.execute(*args)
+
+    update = insert
+
+    def read(self, key: str,
+             fields: Optional[List[str]] = None) -> Dict[str, bytes]:
+        if fields:
+            flat = self.store.execute("HMGET", key, *fields)
+            return {name: payload for name, payload in zip(fields, flat)
+                    if payload is not None}
+        return _pairs_to_dict(self.store.execute("HGETALL", key))
+
+    def scan(self, start_key: str,
+             count: int) -> List[Dict[str, bytes]]:
+        keys = self.store.execute("RANGE", start_key, count)
+        return [self.read(key.decode("ascii")) for key in keys]
+
+    def delete(self, key: str) -> None:
+        self.store.execute("DEL", key)
 
 
 class ClientAdapter(StorageAdapter):

@@ -22,9 +22,15 @@ at the same simulated instants and produce identical histograms.
 The runner drives an **event-driven cluster**
 (:func:`repro.cluster.build_cluster` with ``event_driven=True``; one
 shard is just a one-node cluster): each simulated client keeps its own
-connection per shard, routes by hash slot from the shared routing cache,
-and follows MOVED/ASK redirects, so open-loop load keeps flowing across
-live slot migrations.
+connection per shard **and its own routing cache** (seeded from the
+cluster client's snapshot at construction), routes by hash slot, and
+follows MOVED/ASK redirects.  Because caches are per client -- as they
+are across real cluster-client processes -- a topology change leaves M
+divergent views that re-converge one MOVED at a time:
+:meth:`OpenLoopRunner.divergent_clients` counts the clients whose
+cached owner for a slot still disagrees with the authoritative map,
+and ``OpenLoopReport.route_updates`` counts the MOVED lessons absorbed,
+so convergence after a migration is itself a measured number.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from ..common.errors import (
 from ..common.histogram import LatencyHistogram
 from ..common.resp import RespError
 from ..cluster.client import ClusterClient, parse_redirect
+from ..cluster.slots import slot_for_key
 from ..kvstore.server import EventConnection
 from .adapters import pack_fields
 from .distributions import CounterGenerator, DiscreteGenerator
@@ -104,6 +111,8 @@ class OpenLoopReport:
     failures: int = 0
     redirects_followed: int = 0
     max_backlog: int = 0
+    route_updates: int = 0      # MOVED lessons absorbed into per-client
+                                # routing caches (cache convergence)
 
     @property
     def throughput(self) -> float:
@@ -124,17 +133,26 @@ class OpenLoopReport:
             "service_time": self.service_time.summary(),
             "failures": self.failures,
             "redirects_followed": self.redirects_followed,
+            "route_updates": self.route_updates,
             "max_backlog": self.max_backlog,
         }
 
 
 class _SimClient:
-    """One simulated client: per-shard connections, one op in flight."""
+    """One simulated client: per-shard connections, one op in flight,
+    and a private routing cache.
+
+    The cache starts as a snapshot of the cluster client's table and is
+    updated only by MOVED replies *this* client receives -- after a
+    migration, each client discovers the new owner independently (one
+    wasted hop each), exactly as separate client processes would.
+    """
 
     def __init__(self, runner: "OpenLoopRunner", index: int) -> None:
         self._runner = runner
         self.index = index
         self._conns: Dict[int, EventConnection] = {}
+        self.routes: List[int] = runner.cluster.routing_snapshot()
         self.op: Optional[_Op] = None
         self._skip_next = False        # a pending +OK answering ASKING
 
@@ -155,7 +173,7 @@ class _SimClient:
         op = self.op
         argv = op.phases[op.phase]
         if shard is None:
-            shard = self._runner.cluster.shard_for(argv[1])
+            shard = self.routes[slot_for_key(argv[1])]
         conn = self._connection(shard)
         if op.asking:
             conn.send_command("ASKING")
@@ -177,9 +195,11 @@ class _SimClient:
                     "open-loop request redirected "
                     f"{op.redirects} times without converging")
             if isinstance(redirect, MovedError):
-                # Durable topology change: teach the shared routing cache.
-                self._runner.cluster.learn_route(redirect.slot,
-                                                 redirect.shard)
+                # Durable topology change: teach *this client's* cache
+                # only -- every other client converges through its own
+                # MOVED, the per-process discovery real clusters show.
+                self.routes[redirect.slot] = redirect.shard
+                self._runner.route_updates += 1
             else:
                 op.asking = True
             self._send_phase(redirect.shard)
@@ -233,6 +253,7 @@ class OpenLoopRunner:
         self._idle: Deque[_SimClient] = deque(self._clients)
         self._backlog: Deque[_Op] = deque()
         self.redirects_followed = 0
+        self.route_updates = 0
         self._report: Optional[OpenLoopReport] = None
         self._to_admit = 0
         self._started_at = 0.0
@@ -246,7 +267,12 @@ class OpenLoopRunner:
         for keynum in range(self.spec.record_count):
             key = build_key_name(keynum)
             value = pack_fields(self.fields.build_values())
-            shard = self.cluster.shard_for(key)
+            # Authoritative routing, not the client's cached table: the
+            # direct store write bypasses the server's MOVED check, so a
+            # stale cache (possible after a migration, now that MOVED
+            # lessons stay per client) must not plant records on a shard
+            # that no longer owns the slot.
+            shard = self.cluster.slots.shard_for_key(key)
             self.cluster.nodes[shard].store.execute("SET", key, value)
         self.cluster.sync()
         return self.spec.record_count
@@ -289,13 +315,28 @@ class OpenLoopRunner:
         self._report = report
         self._to_admit = total
         self._started_at = self.clock.now()
+        # Snapshot the lifetime counters so this report carries *this
+        # run's* redirects and cache lessons, not the runner's history.
+        redirects_before = self.redirects_followed
+        updates_before = self.route_updates
         if total > 0:
             self.clock.schedule_after(self._arrivals.next_interarrival(),
                                       self._arrive, label="arrival")
         self.clock.run_until_idle()
         report.sim_elapsed = self.clock.now() - self._started_at
-        report.redirects_followed = self.redirects_followed
+        report.redirects_followed = self.redirects_followed \
+            - redirects_before
+        report.route_updates = self.route_updates - updates_before
         return report
+
+    def divergent_clients(self, slot: int) -> int:
+        """How many simulated clients still cache a stale owner for
+        ``slot``?  After a migration this starts at the full client
+        count and drops to zero as each client absorbs its own MOVED --
+        the convergence counter for per-client routing caches."""
+        owner = self.cluster.slots.shard_of_slot(slot)
+        return sum(1 for client in self._clients
+                   if client.routes[slot] != owner)
 
     def _arrive(self) -> None:
         report = self._report

@@ -82,6 +82,25 @@ class TestCli:
         # Primary-side throughput does not depend on the replica delay.
         assert slow.throughput == pytest.approx(fast.throughput)
 
+    def test_backends_small(self, capsys):
+        assert main(["backends", "--records", "30", "--ops", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "per-GDPR-feature overhead" in out
+        assert "redislike" in out and "relational" in out
+        assert "full-gdpr" in out and "of baseline" in out
+
+    def test_backends_relative_penalty_asymmetry(self):
+        from repro.bench.backends import headline_comparison, run_backends
+        headline = headline_comparison(run_backends(
+            record_count=40, operation_count=100,
+            features=("baseline", "full-gdpr")))
+        # Stock KV is faster; full compliance costs it relatively more
+        # (the paper's Redis-vs-Postgres asymmetry).
+        assert headline["redislike_baseline_ops"] \
+            > headline["relational_baseline_ops"]
+        assert headline["redislike_slowdown_x"] \
+            > headline["relational_slowdown_x"]
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["warpdrive"])
@@ -90,4 +109,4 @@ class TestCli:
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
                                     "micro", "ablations", "scaling",
                                     "resharding", "concurrency",
-                                    "replication"}
+                                    "replication", "backends"}

@@ -1,0 +1,286 @@
+"""Engine-conformance suite: both backends, one contract.
+
+Every test runs twice -- once over the Redis-like hash-table store,
+once over the relational engine -- asserting the shared
+:class:`~repro.engine.base.StorageEngine` semantics: command behaviour,
+expiry (lazy and active, with translated DEL propagation), deletion
+reasons, DUMP/RESTORE, snapshot and durable-log round trips, keyspace
+views, replication spawning, and GDPR erasure through the facade.
+"""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import StoreError
+from repro.common.resp import RespError
+from repro.crypto.keystore import KeyStore
+from repro.device.append_log import AppendLog
+from repro.engine.base import ENGINES, StorageEngine
+from repro.gdpr.metadata import GDPRMetadata
+from repro.gdpr.store import GDPRConfig, GDPRStore
+from repro.kvstore.aof import contains_key
+from repro.kvstore.replication import ReplicationManager
+from repro.kvstore.store import KeyValueStore, StoreConfig
+from repro.sqlstore import RelationalStore, SqlConfig
+
+
+def _make_kv(clock):
+    return KeyValueStore(
+        StoreConfig(appendonly=True, aof_log_reads=False),
+        clock=clock, aof_log=AppendLog(clock=clock))
+
+
+def _make_sql(clock):
+    return RelationalStore(
+        SqlConfig(wal_enabled=True, wal_log_reads=False),
+        clock=clock, wal_log=AppendLog(clock=clock))
+
+
+FACTORIES = {"redislike": _make_kv, "relational": _make_sql}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def engine(request):
+    return FACTORIES[request.param](SimClock())
+
+
+def test_both_engines_registered():
+    assert ENGINES["redislike"] is KeyValueStore
+    assert ENGINES["relational"] is RelationalStore
+    for cls in (KeyValueStore, RelationalStore):
+        assert issubclass(cls, StorageEngine)
+
+
+def test_set_get_del_exists(engine):
+    assert engine.execute("GET", "k") is None
+    engine.execute("SET", "k", "v1")
+    assert engine.execute("GET", "k") == b"v1"
+    engine.execute("SET", "k", "v2")          # overwrite
+    assert engine.execute("GET", "k") == b"v2"
+    assert engine.execute("EXISTS", "k") == 1
+    assert engine.execute("DEL", "k") == 1
+    assert engine.execute("GET", "k") is None
+    assert engine.execute("DEL", "k") == 0
+
+
+def test_hash_rows(engine):
+    engine.execute("HSET", "row", "f1", "a", "f2", "b")
+    assert engine.execute("HGET", "row", "f1") == b"a"
+    assert engine.execute("HMGET", "row", "f2", "nope") == [b"b", None]
+    flat = engine.execute("HGETALL", "row")
+    assert dict(zip(flat[::2], flat[1::2])) == {b"f1": b"a", b"f2": b"b"}
+    # Type discipline holds on both engines (typed store errors, the
+    # servers map them to WRONGTYPE on the wire).
+    with pytest.raises(StoreError):
+        engine.execute("GET", "row")
+    engine.execute("SET", "s", "x")
+    with pytest.raises(StoreError):
+        engine.execute("HGETALL", "s")
+
+
+def test_lazy_expiry_and_deletion_reason(engine):
+    events = []
+    engine.add_deletion_listener(
+        lambda db, key, reason, when: events.append((key, reason)))
+    engine.execute("SET", "k", "v")
+    engine.execute("EXPIRE", "k", 5)
+    assert engine.execute("TTL", "k") == 5
+    engine.clock.advance(6)
+    assert engine.execute("GET", "k") is None     # lazy reclamation
+    assert (b"k", "lazy-expire") in events
+    assert engine.stats.expired_keys == 1
+
+
+def test_active_expiry_reason(engine):
+    events = []
+    engine.add_deletion_listener(
+        lambda db, key, reason, when: events.append((key, reason)))
+    engine.execute("SET", "k", "v")
+    engine.execute("PEXPIRE", "k", 1000)
+    engine.clock.advance(10)
+    engine.tick()                                 # cron / vacuum cycle
+    assert (b"k", "active-expire") in events
+    assert not engine.has_live_key(b"k")
+
+
+def test_expiry_propagates_as_del(engine):
+    stream = []
+    engine.add_write_listener(lambda db, argv: stream.append(argv))
+    engine.execute("SET", "k", "v")
+    engine.execute("EXPIRE", "k", 1)
+    # Relative expiries travel as absolute PEXPIREAT.
+    assert any(argv[0] == b"PEXPIREAT" for argv in stream)
+    engine.clock.advance(2)
+    engine.tick()
+    assert [b"DEL", b"k"] in stream
+
+
+def test_expire_in_the_past_deletes(engine):
+    events = []
+    engine.add_deletion_listener(
+        lambda db, key, reason, when: events.append((key, reason)))
+    engine.clock.advance(100)
+    engine.execute("SET", "k", "v")
+    assert engine.execute("EXPIREAT", "k", 1) == 1
+    assert engine.execute("EXISTS", "k") == 0
+    assert (b"k", "del") in events
+
+
+def test_persist_clears_expiry(engine):
+    engine.execute("SET", "k", "v")
+    engine.execute("EXPIRE", "k", 5)
+    assert engine.execute("PERSIST", "k") == 1
+    assert engine.execute("TTL", "k") == -1
+    engine.clock.advance(10)
+    assert engine.execute("GET", "k") == b"v"
+
+
+def test_dump_restore_round_trip(engine):
+    engine.execute("SET", "k", "payload")
+    blob = engine.execute("DUMP", "k")
+    assert blob is not None
+    assert engine.execute("DUMP", "missing") is None
+    engine.execute("RESTORE", "k2", 0, blob)
+    assert engine.execute("GET", "k2") == b"payload"
+    with pytest.raises(RespError, match="BUSYKEY"):
+        engine.execute("RESTORE", "k2", 0, blob)
+    engine.execute("RESTORE", "k2", 1000, blob, "REPLACE")
+    assert engine.execute("PTTL", "k2") > 0
+    engine.clock.advance(2)
+    assert engine.execute("GET", "k2") is None
+
+
+def test_dump_restore_wide_rows(engine):
+    engine.execute("HSET", "row", "f1", "a", "f2", "b")
+    blob = engine.execute("DUMP", "row")
+    engine.execute("RESTORE", "copy", 0, blob)
+    assert engine.execute("HGET", "copy", "f2") == b"b"
+
+
+def test_snapshot_round_trip(engine):
+    engine.execute("SET", "a", "1")
+    engine.execute("HSET", "b", "f", "2")
+    engine.execute("SET", "c", "3")
+    engine.execute("EXPIRE", "c", 50)
+    snapshot = engine.save_snapshot()
+    replica = engine.spawn_replica()
+    assert replica.load_snapshot(snapshot) == 3
+    assert replica.execute("GET", "a") == b"1"
+    assert replica.execute("HGET", "b", "f") == b"2"
+    assert replica.execute("TTL", "c") == 50
+
+
+def test_durable_log_replay_round_trip(engine):
+    engine.execute("SET", "a", "1")
+    engine.execute("HSET", "b", "f", "2")
+    engine.execute("DEL", "a")
+    engine.execute("SET", "c", "3")
+    replica = engine.spawn_replica()
+    # Replicas have no log of their own; replay the primary's bytes.
+    replayed = replica.replay_aof(engine.aof_log.read_all())
+    assert replayed >= 4
+    assert replica.execute("GET", "a") is None
+    assert replica.execute("HGET", "b", "f") == b"2"
+    assert replica.execute("GET", "c") == b"3"
+
+
+def test_log_compaction_removes_deleted_keys(engine):
+    engine.execute("SET", "keep", "x")
+    engine.execute("SET", "gone", "y")
+    engine.execute("DEL", "gone")
+    assert contains_key(engine.aof_log.read_all(), b"gone")
+    engine.rewrite_aof()
+    data = engine.aof_log.read_all()
+    assert not contains_key(data, b"gone")
+    assert contains_key(data, b"keep")
+
+
+def test_keyspace_views(engine):
+    engine.execute("SET", "a", "1")
+    engine.execute("SET", "b", "2")
+    engine.execute("EXPIRE", "b", 1)
+    assert engine.execute("DBSIZE") == engine.key_count() == 2
+    engine.clock.advance(5)
+    assert engine.has_live_key(b"a")
+    assert not engine.has_live_key(b"b")
+    assert b"a" in engine.live_keys() and b"b" not in engine.live_keys()
+    records = {r.key: r for r in engine.scan_records()}
+    assert set(records) == {b"a"}
+    assert records[b"a"].value == b"1"
+    assert records[b"a"].expire_at is None
+
+
+def test_keys_command_and_flush(engine):
+    engine.execute("SET", "user1", "x")
+    engine.execute("SET", "user2", "y")
+    engine.execute("SET", "other", "z")
+    assert sorted(engine.execute("KEYS", "user*")) == [b"user1", b"user2"]
+    engine.execute("FLUSHALL")
+    assert engine.execute("DBSIZE") == 0
+
+
+def test_replication_over_either_engine(engine):
+    manager = ReplicationManager(engine)
+    link = manager.add_replica("r0", delay=0.001)
+    assert link.replica.engine_name == engine.engine_name
+    engine.execute("SET", "pii", "secret")
+    engine.clock.advance(0.01)
+    manager.pump()
+    assert link.replica.execute("GET", "pii") == b"secret"
+    engine.execute("DEL", "pii")
+    assert manager.key_visible_anywhere(b"pii")   # replica still serves it
+    horizon = manager.erasure_horizon(b"pii", step=0.0005)
+    assert horizon is not None and horizon <= 0.002
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def gdpr_store(request):
+    clock = SimClock()
+    engine = FACTORIES[request.param](clock)
+    return GDPRStore(kv=engine, config=GDPRConfig(),
+                     keystore=KeyStore())
+
+
+def _meta(owner):
+    return GDPRMetadata(owner=owner, purposes=frozenset({"service"}))
+
+
+def test_gdpr_erasure_over_either_engine(gdpr_store):
+    store = gdpr_store
+    for number in range(4):
+        owner = "alice" if number % 2 == 0 else "bob"
+        store.put(f"user:{number}", b"data", _meta(owner))
+    assert store.keys_of_subject("alice") == ["user:0", "user:2"]
+    from repro.gdpr.rights import right_to_erasure
+    receipt = right_to_erasure(store, "alice")
+    assert receipt.keys_erased == ["user:0", "user:2"]
+    assert receipt.crypto_erased
+    assert not store.subject_exists("alice")
+    assert store.subject_exists("bob")
+    # Erasure events were timestamped off the engine's deletion tap.
+    erased = {event.key for event in store.erasure_events}
+    assert {"user:0", "user:2"} <= erased
+    # Compaction leaves no trace in the durable log.
+    assert not receipt.residual_in_aof
+
+
+def test_gdpr_ttl_erasure_over_either_engine(gdpr_store):
+    store = gdpr_store
+    store.put("user:ttl", b"data",
+              GDPRMetadata(owner="carol",
+                           purposes=frozenset({"service"}), ttl=10.0))
+    store.clock.advance(11)
+    store.tick()
+    report = store.erasure_report()
+    assert report["events"] >= 1
+    assert not store.subject_exists("carol")
+
+
+def test_gdpr_index_rebuild_over_either_engine(gdpr_store):
+    store = gdpr_store
+    for number in range(3):
+        store.put(f"user:{number}", b"data", _meta("alice"))
+    store.index.clear()
+    assert store.rebuild_indexes() == 3
+    assert store.keys_of_subject("alice") == \
+        ["user:0", "user:1", "user:2"]

@@ -38,10 +38,12 @@ def test_lost_required_section_is_detected(tmp_path):
         "[a](docs/architecture.md) [b](docs/benchmarks.md)\n")
     (tmp_path / "docs" / "architecture.md").write_text("# Architecture\n")
     (tmp_path / "docs" / "benchmarks.md").write_text(
-        "# Benchmarks\n\n| `concurrency` | open loop |\n")
+        "# Benchmarks\n\n| `concurrency` | open loop |\n"
+        "concurrency_hockey_stick.txt\n")
     violations = check_docs.check(tmp_path)
     assert any("Execution model" in v for v in violations)
-    assert not any("concurrency" in v for v in violations)
+    assert any("Storage engines" in v for v in violations)
+    assert not any("`concurrency`" in v for v in violations)
 
 
 def test_undocumented_bench_scenario_is_detected(tmp_path):

@@ -187,3 +187,78 @@ class TestOpenLoopAcrossMigration:
         for slot in slots:
             assert cluster.slots.shard_of_slot(slot) == 1
         assert report.redirects_followed > 0
+
+
+class TestPerClientRoutingCaches:
+    """Each simulated client keeps its own MOVED cache (no shared
+    routing table), so divergent views re-converge one client at a
+    time."""
+
+    def _runner(self, clients=4, records=60, ops=300, seed=5):
+        cluster = build_cluster(2, store_factory=cpu_factory,
+                                event_driven=True, latency=10e-6)
+        spec = WORKLOAD_B.scaled(record_count=records,
+                                 operation_count=ops)
+        runner = OpenLoopRunner(cluster, spec, clients=clients,
+                                arrival_rate=50_000.0, seed=seed)
+        runner.preload()
+        return cluster, runner
+
+    def test_caches_start_from_the_cluster_snapshot(self):
+        cluster, runner = self._runner()
+        snapshot = cluster.routing_snapshot()
+        for client in runner._clients:
+            assert client.routes == snapshot
+            assert client.routes is not snapshot
+
+    def _hot_slot_runner(self, clients, ops, seed=5):
+        """One record => every operation targets one known slot, so
+        cache convergence is deterministic per client."""
+        from repro.cluster import slot_for_key
+        from repro.ycsb.generator import build_key_name
+
+        cluster, runner = self._runner(clients=clients, records=1,
+                                       ops=ops, seed=seed)
+        return cluster, runner, slot_for_key(build_key_name(0))
+
+    def test_divergent_caches_converge_one_moved_per_client(self):
+        from repro.cluster import SlotMigrator
+
+        cluster, runner, slot = self._hot_slot_runner(clients=4, ops=40)
+        target = 1 - cluster.slots.shard_of_slot(slot)
+        # A durable topology change behind every client's back.
+        SlotMigrator(cluster, slot, target).run()
+        # Every client's cache is now stale for that slot.
+        assert runner.divergent_clients(slot) == 4
+        report = runner.run(40)
+        assert report.completed == 40
+        assert report.failures == 0
+        # Each client absorbed exactly one MOVED of its own -- no
+        # shared table taught the others.
+        assert runner.divergent_clients(slot) == 0
+        assert report.route_updates == 4
+        assert report.route_updates == runner.route_updates
+        assert report.redirects_followed >= report.route_updates
+
+    def test_route_updates_zero_without_topology_change(self):
+        _, runner = self._runner(ops=200)
+        report = runner.run(200)
+        assert report.route_updates == 0
+        assert report.redirects_followed == 0
+
+    def test_clients_learn_independently(self):
+        """A MOVED teaches only the client that received it: with fewer
+        operations than clients, the untouched clients' caches stay
+        stale -- divergence strictly between 0 and N."""
+        from repro.cluster import SlotMigrator
+
+        cluster, runner, slot = self._hot_slot_runner(clients=8, ops=3,
+                                                      seed=13)
+        target = 1 - cluster.slots.shard_of_slot(slot)
+        SlotMigrator(cluster, slot, target).run()
+        assert runner.divergent_clients(slot) == 8
+        report = runner.run(3)
+        # Three operations reached at most three clients; at least five
+        # caches never saw a MOVED and remain stale.
+        assert report.route_updates == 3
+        assert runner.divergent_clients(slot) == 5

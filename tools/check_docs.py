@@ -42,11 +42,21 @@ REQUIRED_DOC_CONTENT = {
         ("## Replication",
          "the erasure-horizon / replica-handoff contract the cluster "
          "and bench layers are written against"),
+        ("## Storage engines",
+         "the StorageEngine contract (write/deletion taps, keyspace "
+         "views, durability hooks) every upper layer is written "
+         "against, and the two backends implementing it"),
     ],
     "docs/benchmarks.md": [
         ("### Reading the `replication` output",
          "the erasure-horizon columns need a reading guide or the "
          "compliance claim is unverifiable"),
+        ("### Reading the `backends` output",
+         "the per-feature overhead table needs a reading guide or the "
+         "paper's Redis-vs-Postgres headline is unverifiable"),
+        ("concurrency_hockey_stick.txt",
+         "the committed latency-vs-offered-load artifact must stay "
+         "documented and regenerable"),
     ],
 }
 
