@@ -48,6 +48,15 @@ def test_backends_artifact(results_dir):
     for (engine, feature), value in tput.items():
         if feature != "baseline":
             assert value < tput[(engine, "baseline")]
+    # Fast-GDPR (block-sealed audit + fused writes + write-behind) runs
+    # the full feature set yet recovers >=5x over per-op SYNC audit on
+    # the KV engine -- the paper's "batch the monitoring logs"
+    # suggestion, quantified -- and beats strict full-gdpr on both.
+    assert tput[("redislike", "fast-gdpr")] \
+        >= 5 * tput[("redislike", "+audit")]
+    for engine in ("redislike", "relational"):
+        assert tput[(engine, "fast-gdpr")] \
+            > tput[(engine, "full-gdpr")]
 
 
 def test_backends_byte_identical_across_runs():

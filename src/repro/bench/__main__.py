@@ -13,7 +13,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .backends import backends_table, headline_comparison, run_backends
+from .backends import (
+    FEATURE_ORDER as BACKEND_FEATURES,
+    backends_table,
+    headline_comparison,
+    run_backends,
+)
 from .ablation import (
     audit_batch_sweep,
     device_sweep,
@@ -213,24 +218,49 @@ def run_replication_cmd(args: argparse.Namespace) -> None:
 def run_backends_cmd(args: argparse.Namespace) -> None:
     _print_header("Backends -- Redis-like vs relational engine, "
                   "per-GDPR-feature overhead")
+    features = BACKEND_FEATURES
+    if args.features:
+        features = tuple(f.strip() for f in args.features.split(",")
+                         if f.strip())
+        unknown = [f for f in features if f not in BACKEND_FEATURES]
+        if unknown:
+            raise SystemExit(
+                f"unknown backend feature(s) {unknown}; "
+                f"choose from {list(BACKEND_FEATURES)}")
     cells = run_backends(record_count=args.records,
-                         operation_count=args.ops)
+                         operation_count=args.ops,
+                         features=features)
     print(backends_table(cells))
+    if "baseline" not in features:
+        return
     headline = headline_comparison(cells)
     print("\nheadline (full GDPR stack vs each engine's own baseline):")
-    print(render_table(
-        ["engine", "baseline ops/s", "full-gdpr ops/s", "slowdown"],
-        [[engine,
-          round(headline[f"{engine}_baseline_ops"], 1),
-          round(headline[f"{engine}_full_gdpr_ops"], 1),
-          f"{headline[f'{engine}_slowdown_x']:.2f}x"]
-         for engine in ("redislike", "relational")]))
+    have_full = "full-gdpr" in features
+    have_fast = "fast-gdpr" in features
+    header = ["engine", "baseline ops/s"]
+    if have_full:
+        header += ["full-gdpr ops/s", "slowdown"]
+    if have_fast:
+        header += ["fast-gdpr ops/s", "fast slowdown"]
+    rows = []
+    for engine in ("redislike", "relational"):
+        row = [engine, round(headline[f"{engine}_baseline_ops"], 1)]
+        if have_full:
+            row += [round(headline[f"{engine}_full_gdpr_ops"], 1),
+                    f"{headline[f'{engine}_slowdown_x']:.2f}x"]
+        if have_fast:
+            row += [round(headline[f"{engine}_fast_gdpr_ops"], 1),
+                    f"{headline[f'{engine}_fast_slowdown_x']:.2f}x"]
+        rows.append(row)
+    print(render_table(header, rows))
     print("\nSame YCSB-A stream over both engines.  'of baseline' is "
           "each row's throughput\nas a fraction of its own engine's "
           "baseline (the paper's per-feature overhead\nview); the "
           "relational engine starts slower but pays a smaller relative\n"
           "penalty for full compliance, because its baseline already "
-          "carries WAL costs.")
+          "carries WAL costs.\n'fast-gdpr' is the same full stack with "
+          "block-sealed audit + write-behind\nindexing -- the recovered "
+          "throughput prices the bounded visibility window.")
 
 
 EXPERIMENTS = {
@@ -269,6 +299,9 @@ def main(argv=None) -> int:
     parser.add_argument("--replicas", type=int, default=None,
                         help="pin the replication sweep to one replica "
                              "count per shard")
+    parser.add_argument("--features", type=str, default=None,
+                        help="comma-separated backend feature rows for "
+                             "the backends experiment (default: all)")
     args = parser.parse_args(argv)
     selected = args.experiments or list(EXPERIMENTS)
     for name in selected:

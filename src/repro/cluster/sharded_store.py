@@ -97,7 +97,8 @@ class ShardedGDPRStore:
                  keystore: Optional[KeyStore] = None,
                  slot_map: Optional[SlotMap] = None,
                  config_factory: Optional[GDPRConfigFactory] = None,
-                 kv_factory: Optional[KVFactory] = None) -> None:
+                 kv_factory: Optional[KVFactory] = None,
+                 fast_gdpr: bool = False) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.keystore = keystore if keystore is not None else KeyStore()
         self.slots = slot_map if slot_map is not None \
@@ -108,7 +109,8 @@ class ShardedGDPRStore:
                 f"but only {num_shards} shards exist")
         if config_factory is None:
             def config_factory(index: int) -> GDPRConfig:
-                return GDPRConfig(node_id=f"shard-{index}")
+                return GDPRConfig(node_id=f"shard-{index}",
+                                  fast_gdpr=fast_gdpr)
         if kv_factory is None:
             def kv_factory(index: int, kv_clock: Clock) -> StorageEngine:
                 return KeyValueStore(
@@ -453,10 +455,17 @@ class ShardedGDPRStore:
         for shard in self.shards:
             shard.tick()
 
+    def flush_compliance(self) -> None:
+        """Close every shard's fast-GDPR visibility window (write-behind
+        drain + audit block seal); a no-op for strict-mode shards."""
+        for shard in self.shards:
+            shard.flush_compliance()
+
     def verify_audit_chains(self) -> Dict[int, int]:
-        """Verify every shard's hash chain; {shard: records verified}.
+        """Verify every shard's hash chain -- per-record or block-sealed,
+        whichever that shard runs -- as {shard: records verified}.
         Raises :class:`~repro.common.errors.AuditError` on any break."""
-        return {index: shard.audit.verify_chain(shard.audit.records())
+        return {index: shard.audit.verify()
                 for index, shard in enumerate(self.shards)}
 
     def erasure_report(self) -> Dict[str, float]:

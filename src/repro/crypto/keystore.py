@@ -32,6 +32,11 @@ class KeyStore:
         self._master = AuthenticatedCipher(master_key)
         self._wrapped: Dict[str, bytes] = {}
         self._erased: set = set()
+        # Cipher contexts are stateless (fresh nonce per seal), so one
+        # instance per key id is safe to reuse -- unwrapping the master
+        # key and re-deriving the enc/mac subkeys on every data-path op
+        # is pure hot-path waste.  Invalidated on erasure and import.
+        self._cipher_cache: Dict[str, AuthenticatedCipher] = {}
 
     # -- key lifecycle -------------------------------------------------------
 
@@ -59,10 +64,17 @@ class KeyStore:
 
     def cipher_for(self, key_id: str,
                    create: bool = True) -> AuthenticatedCipher:
-        """Authenticated cipher bound to ``key_id``'s data key."""
+        """Authenticated cipher bound to ``key_id``'s data key (cached)."""
+        if key_id in self._erased:
+            raise KeyErasedError(f"key {key_id!r} was crypto-erased")
+        cipher = self._cipher_cache.get(key_id)
+        if cipher is not None:
+            return cipher
         if create and key_id not in self._wrapped:
             self.create_key(key_id)
-        return AuthenticatedCipher(self.get_key(key_id))
+        cipher = AuthenticatedCipher(self.get_key(key_id))
+        self._cipher_cache[key_id] = cipher
+        return cipher
 
     def erase_key(self, key_id: str) -> bool:
         """Crypto-erase: destroy the wrapped key, tombstone the id.
@@ -72,6 +84,7 @@ class KeyStore:
         copies in logs, snapshots, and backups.
         """
         existed = self._wrapped.pop(key_id, None) is not None
+        self._cipher_cache.pop(key_id, None)
         self._erased.add(key_id)
         return existed
 
@@ -102,3 +115,4 @@ class KeyStore:
             # Validate before accepting: unwrapping raises on tampering.
             self._master.open(blob, aad=key_id.encode("utf-8"))
             self._wrapped[key_id] = blob
+            self._cipher_cache.pop(key_id, None)

@@ -102,6 +102,11 @@ class StorageEngine:
     #: :meth:`keys_of_owner` over its sidecar index for owner queries.
     supports_metadata_columns: bool = False
 
+    #: True when the engine's SET accepts an absolute expiry option
+    #: (``PXAT``), letting the GDPR layer fuse value + retention deadline
+    #: into ONE command (and one AOF record) instead of SET + PEXPIREAT.
+    supports_set_with_expiry: bool = False
+
     def __init__(self) -> None:
         self.deletion_listeners: List[DeletionListener] = []
         self.write_listeners: List[WriteListener] = []

@@ -11,7 +11,8 @@ from .articles import (
     articles_for_feature,
     feature_demand,
 )
-from .audit import AuditDurability, AuditLog, AuditRecord
+from .audit import (AuditBlock, AuditChainMode, AuditDurability,
+                    AuditLog, AuditRecord)
 from .breach import NOTIFICATION_DEADLINE_SECONDS, BreachNotifier, BreachReport
 from .compliance import (
     ArticleVerdict,
@@ -58,6 +59,8 @@ __all__ = [
     "AccessController",
     "AuditLog",
     "AuditRecord",
+    "AuditBlock",
+    "AuditChainMode",
     "AuditDurability",
     "MetadataIndex",
     "PolicyEngine",

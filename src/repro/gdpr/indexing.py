@@ -12,7 +12,7 @@ and delete, plus an expiry index ordered by deadline.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .metadata import GDPRMetadata
 
@@ -138,3 +138,96 @@ class MetadataIndex:
             self.add(key, metadata)
             count += 1
         return count
+
+
+class WriteBehindIndexer:
+    """Deferred compliance maintenance: a dirty-set flushed off-path.
+
+    The fast-GDPR mode enqueues per-write follow-up work here (engine
+    metadata annotation, TTL registration on engines without fused
+    SET-with-expiry, storage-location bookkeeping) instead of paying it
+    inside the client-visible operation.  A recurring daemon event on the
+    scheduler drains the dirty-set every ``interval`` seconds; consumers
+    that need a current view (subject access, index rebuild, shutdown)
+    call :meth:`flush` first -- the visibility-window trade-off is the
+    whole point, and it is bounded by ``interval``.
+
+    Only the *latest* entry per key survives coalescing, which is exactly
+    the write-behind win: a hot key rewritten many times per interval
+    costs one deferred apply, not many.
+    """
+
+    def __init__(self, apply_fn: Callable[[str, object], None],
+                 clock=None, interval: float = 0.1,
+                 auto_timer: bool = True) -> None:
+        self._apply = apply_fn
+        self.clock = clock
+        self.interval = interval
+        self._pending: Dict[str, object] = {}
+        self._timer_handle = None
+        self._last_flush = clock.now() if clock is not None else 0.0
+        self.flushes = 0
+        self.applied = 0
+        self.coalesced = 0
+        if auto_timer:
+            self._maybe_start_timer()
+
+    def _maybe_start_timer(self) -> None:
+        if self.clock is None or self.interval <= 0:
+            return
+        schedule = getattr(self.clock, "schedule_after", None)
+        if schedule is None:
+            return
+
+        def fire() -> None:
+            self.flush()
+            self._timer_handle = self.clock.schedule_after(
+                self.interval, fire, label="gdpr-writebehind", daemon=True)
+
+        self._timer_handle = schedule(self.interval, fire,
+                                      label="gdpr-writebehind", daemon=True)
+
+    def stop_timer(self) -> None:
+        if self._timer_handle is not None:
+            cancel = getattr(self._timer_handle, "cancel", None)
+            if cancel is not None:
+                cancel()
+            self._timer_handle = None
+
+    def enqueue(self, key: str, work: object) -> None:
+        if key in self._pending:
+            self.coalesced += 1
+        self._pending[key] = work
+
+    def discard(self, key: str) -> bool:
+        """Drop pending work for ``key`` (it was deleted before the flush
+        -- applying stale maintenance to a dead key would resurrect
+        state)."""
+        return self._pending.pop(key, None) is not None
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> int:
+        """Apply all pending work in enqueue order; returns entries
+        applied."""
+        if self.clock is not None:
+            self._last_flush = self.clock.now()
+        if not self._pending:
+            return 0
+        batch = self._pending
+        self._pending = {}
+        for key, work in batch.items():
+            self._apply(key, work)
+        self.flushes += 1
+        self.applied += len(batch)
+        return len(batch)
+
+    def maybe_flush(self, now: float) -> int:
+        """Interval-gated flush for tick-driven drivers (the fallback
+        when the clock cannot schedule daemon events)."""
+        if now - self._last_flush < self.interval:
+            return 0
+        self._last_flush = now
+        return self.flush()

@@ -38,8 +38,8 @@ from ..crypto.pseudonymize import Pseudonymizer
 from ..engine.base import StorageEngine
 from ..kvstore.store import KeyValueStore, StoreConfig
 from .access_control import AccessController, Operation, Principal
-from .audit import AuditDurability, AuditLog
-from .indexing import MetadataIndex
+from .audit import AuditChainMode, AuditDurability, AuditLog
+from .indexing import MetadataIndex, WriteBehindIndexer
 from .location import LocationManager
 from .metadata import GDPRMetadata, Record, pack_envelope, unpack_envelope
 from .policy import PolicyEngine
@@ -61,6 +61,17 @@ class GDPRConfig:
     compact_on_erasure: bool = True     # rewrite AOF after Art. 17 erasure
     pseudonymize_audit: bool = False
     erasure_sla: float = 3600.0         # eventual-compliance window (s)
+    # Fast-GDPR mode: amortize compliance work off the critical path.
+    # Audit records seal into hash-chained blocks (one chain update +
+    # one group-commit fsync per block), value+TTL fuse into a single
+    # engine command where supported, and engine-side metadata/location
+    # bookkeeping goes write-behind.  Tamper evidence and determinism
+    # are preserved; the cost is a bounded compliance-visibility window
+    # (at most one unsealed block / one write-behind interval).
+    fast_gdpr: bool = False
+    audit_block_size: int = 64          # records per sealed block
+    writebehind_interval: float = 0.1   # dirty-set flush period (s)
+    audit_memory_window: Optional[int] = None   # bound on in-RAM records
 
 
 @dataclass(frozen=True)
@@ -108,7 +119,11 @@ class GDPRStore:
         self.keystore = keystore if keystore is not None else KeyStore()
         self.audit = audit if audit is not None else AuditLog(
             clock=self.clock, durability=self.config.audit_durability,
-            batch_interval=self.config.audit_batch_interval)
+            batch_interval=self.config.audit_batch_interval,
+            chain_mode=(AuditChainMode.BLOCK if self.config.fast_gdpr
+                        else AuditChainMode.RECORD),
+            block_size=self.config.audit_block_size,
+            memory_window=self.config.audit_memory_window)
         self.access = access if access is not None else AccessController()
         self.locations = locations if locations is not None \
             else LocationManager()
@@ -119,6 +134,11 @@ class GDPRStore:
         self.index = MetadataIndex()
         self.pseudonymizer = Pseudonymizer()
         self.erasure_events: List[ErasureEvent] = []
+        self._writebehind: Optional[WriteBehindIndexer] = None
+        if self.config.fast_gdpr:
+            self._writebehind = WriteBehindIndexer(
+                self._apply_writebehind, clock=self.clock,
+                interval=self.config.writebehind_interval)
         self.kv.add_deletion_listener(self._on_kv_deletion)
 
     # -- internal helpers ---------------------------------------------------------
@@ -152,10 +172,24 @@ class GDPRStore:
         cipher = self.keystore.cipher_for(owner, create=False)
         return cipher.open(blob, aad=key.encode("utf-8"))
 
+    def _apply_writebehind(self, key: str, work) -> None:
+        """Deferred per-write maintenance (the write-behind flush body):
+        TTL registration on engines without fused SET-with-expiry,
+        engine-native metadata annotation, location bookkeeping."""
+        metadata, deadline = work
+        if deadline is not None:
+            self.kv.execute("PEXPIREAT", key, int(deadline * 1000))
+        self.kv.annotate_metadata(key, metadata.owner, metadata.purposes)
+        self.locations.record_stored(key, self.config.region)
+
     def _on_kv_deletion(self, db_index: int, key_bytes: bytes,
                         reason: str, when: float) -> None:
         """Deletion listener: keep indexes honest, timestamp erasures."""
         key = key_bytes.decode("utf-8", "replace")
+        if self._writebehind is not None:
+            # Never apply deferred maintenance to a dead key (a late
+            # PEXPIREAT/annotate would resurrect compliance state).
+            self._writebehind.discard(key)
         metadata = self.index.remove(key)
         if metadata is None:
             return
@@ -207,8 +241,28 @@ class GDPRStore:
         self.policies.validate(metadata)
         self.locations.check_placement(metadata, self.config.region)
         blob = self._seal(key, metadata, value)
-        self.kv.execute("SET", key, blob)
         deadline = metadata.expire_at()
+        if self._writebehind is not None:
+            # Fast-GDPR write shape: one fused engine command where the
+            # engine speaks SET..PXAT (value + retention deadline in one
+            # AOF record), the sidecar index updated inline (reads check
+            # purpose/access against it), and the remaining maintenance
+            # deferred to the write-behind flush.  The audit append
+            # buffers into the current block -- no fsync here.
+            if deadline is not None and getattr(
+                    self.kv, "supports_set_with_expiry", False):
+                self.kv.execute("SET", key, blob, "PXAT",
+                                int(deadline * 1000))
+                pending_deadline = None
+            else:
+                self.kv.execute("SET", key, blob)
+                pending_deadline = deadline
+            self.index.add(key, metadata)
+            self._writebehind.enqueue(key, (metadata, pending_deadline))
+            self._record_audit(principal.name, "put", key, metadata.owner,
+                               purpose, "ok")
+            return
+        self.kv.execute("SET", key, blob)
         if deadline is not None:
             millis = int(deadline * 1000)
             self.kv.execute("PEXPIREAT", key, millis)
@@ -305,6 +359,10 @@ class GDPRStore:
         query against the row data (the relational schema's payoff);
         otherwise the sidecar inverted index answers.
         """
+        if self._writebehind is not None:
+            # Subject rights need the *current* view: drain deferred
+            # annotations before consulting the engine's native index.
+            self._writebehind.flush()
         native = self.kv.keys_of_owner(subject)
         if native is not None:
             return native
@@ -331,9 +389,24 @@ class GDPRStore:
     # -- maintenance -----------------------------------------------------------------
 
     def tick(self) -> None:
-        """Drive background work: store cron + audit group commit."""
+        """Drive background work: store cron + audit group commit.
+
+        On a scheduling clock the audit group commit and the write-behind
+        flush also fire as daemon events; this tick is the fallback for
+        tick-driven harnesses and non-scheduling clocks."""
         self.kv.tick()
         self.audit.tick(self.clock.now())
+        if self._writebehind is not None:
+            self._writebehind.maybe_flush(self.clock.now())
+
+    def flush_compliance(self) -> None:
+        """Synchronously close the fast-GDPR visibility window: drain the
+        write-behind dirty-set and seal + group-commit the audit log.
+        After this barrier the store's compliance state is as current as
+        strict mode's."""
+        if self._writebehind is not None:
+            self._writebehind.flush()
+        self.audit.sync()
 
     def sweep_policies(self) -> List[str]:
         """Erase records whose policy-derived retention lapsed.
@@ -357,6 +430,8 @@ class GDPRStore:
         skipped (and therefore stay unreachable).  The scan goes through
         the engine's :meth:`~repro.engine.base.StorageEngine.scan_records`
         view, so it works over any backend."""
+        if self._writebehind is not None:
+            self._writebehind.flush()
         entries: List[Tuple[str, GDPRMetadata]] = []
         for key_bytes, blob, _expire_at in self.kv.scan_records(0):
             if not isinstance(blob, bytes):

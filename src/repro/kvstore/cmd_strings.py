@@ -1,7 +1,9 @@
 """String commands: GET/SET and friends.
 
-Semantics follow Redis 4.0: SET supports EX/PX/NX/XX, plain SET discards
-any existing TTL, INCR-family commands require integer payloads.
+Semantics follow Redis 4.0: SET supports EX/PX/NX/XX (plus the absolute
+EXAT/PXAT forms, which make SET-with-TTL a single replay-safe command),
+plain SET discards any existing TTL, INCR-family commands require integer
+payloads.
 """
 
 from __future__ import annotations
@@ -39,6 +41,15 @@ def cmd_set(ctx: CommandContext, args: List[bytes]) -> Optional[SimpleString]:
                 raise RespError("ERR invalid expire time in set")
             seconds = amount if option == b"EX" else amount / 1000.0
             expire_at = ctx.now + seconds
+            i += 2
+        elif option in (b"EXAT", b"PXAT"):
+            if i + 1 >= len(args):
+                raise RespError("ERR syntax error")
+            amount = parse_int(args[i + 1])
+            if amount <= 0:
+                raise RespError("ERR invalid expire time in set")
+            expire_at = float(amount) if option == b"EXAT" \
+                else amount / 1000.0
             i += 2
         elif option == b"NX":
             if require_exists is True:

@@ -73,6 +73,7 @@ class KeyValueStore(StorageEngine):
     :class:`~repro.engine.base.StorageEngine`)."""
 
     engine_name = "redislike"
+    supports_set_with_expiry = True
 
     def __init__(self, config: Optional[StoreConfig] = None,
                  clock: Optional[Clock] = None,
@@ -196,12 +197,19 @@ class KeyValueStore(StorageEngine):
             return records
         if name in (b"SETEX", b"PSETEX") or (name == b"SET" and len(argv) > 3):
             key, value = argv[1], argv[3] if name != b"SET" else argv[2]
-            records = [[b"SET", key, value]]
             expire_at = db.get_expiry(key)
-            if expire_at is not None:
-                millis = str(int(expire_at * 1000)).encode("ascii")
-                records.append([b"PEXPIREAT", key, millis])
-            return records
+            if expire_at is None:
+                return [[b"SET", key, value]]
+            millis = str(int(expire_at * 1000)).encode("ascii")
+            if name == b"SET" and any(
+                    argv[i].upper() in (b"EXAT", b"PXAT")
+                    for i in range(3, len(argv))):
+                # The caller already spoke in absolute time, so value +
+                # deadline fuse into one replay-safe record (one AOF
+                # append instead of two -- the fast-GDPR write shape).
+                return [[b"SET", key, value, b"PXAT", millis]]
+            return [[b"SET", key, value],
+                    [b"PEXPIREAT", key, millis]]
         return [argv]
 
     # -- keyspace access with lazy expiry ----------------------------------------

@@ -139,3 +139,32 @@ class TestCipherFor:
         token = ks.cipher_for("alice").seal(b"v")
         with pytest.raises(IntegrityError):
             ks.cipher_for("bob").open(token)
+
+
+class TestCipherCache:
+    def test_cipher_instance_reused(self):
+        ks = KeyStore()
+        assert ks.cipher_for("alice") is ks.cipher_for("alice")
+
+    def test_cached_cipher_still_correct(self):
+        ks = KeyStore()
+        token = ks.cipher_for("alice").seal(b"v", aad=b"k")
+        assert ks.cipher_for("alice").open(token, aad=b"k") == b"v"
+
+    def test_erasure_evicts_cache(self):
+        ks = KeyStore()
+        ks.cipher_for("alice")
+        ks.erase_key("alice")
+        with pytest.raises(KeyErasedError):
+            ks.cipher_for("alice")
+
+    def test_import_invalidates_cache(self):
+        donor = KeyStore(b"m" * KEY_SIZE)
+        donor.create_key("alice")
+        ks = KeyStore(b"m" * KEY_SIZE)
+        stale = ks.cipher_for("alice")          # a different data key
+        ks.import_wrapped(donor.export_wrapped())
+        fresh = ks.cipher_for("alice")
+        assert fresh is not stale
+        token = donor.cipher_for("alice").seal(b"v")
+        assert fresh.open(token) == b"v"

@@ -1,0 +1,313 @@
+"""Tests for the block-sealed audit chain (fast-GDPR mode) and the
+audit-log bugfixes that ride along: the quiescent group-commit timer,
+the O(1) at-risk counter, and the bounded in-memory window."""
+
+import json
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import AuditError, DeviceIOError
+from repro.device.append_log import AppendLog
+from repro.device.latency import INTEL_750_SSD
+from repro.gdpr.audit import (
+    AuditBlock,
+    AuditChainMode,
+    AuditDurability,
+    AuditLog,
+)
+
+
+def make_block_log(block_size=4, batch_interval=1.0, latency=None,
+                   memory_window=None, auto_timer=True):
+    clock = SimClock()
+    backing = AppendLog(clock=clock,
+                        latency=latency if latency else
+                        INTEL_750_SSD.scaled(0))
+    log = AuditLog(log=backing, clock=clock,
+                   chain_mode=AuditChainMode.BLOCK,
+                   block_size=block_size, batch_interval=batch_interval,
+                   memory_window=memory_window, auto_timer=auto_timer)
+    return log, clock
+
+
+class TestBlockSealing:
+    def test_size_threshold_seals(self):
+        log, _ = make_block_log(block_size=3)
+        for i in range(7):
+            log.append("p", "get", key=f"k{i}")
+        assert log.blocks_sealed == 2
+        assert log.pending_records == 1
+
+    def test_one_fsync_per_block(self):
+        log, _ = make_block_log(block_size=4)
+        for i in range(8):
+            log.append("p", "get", key=f"k{i}")
+        assert log.log.fsyncs == 2
+
+    def test_interval_seals_partial_block(self):
+        log, clock = make_block_log(block_size=100, batch_interval=1.0)
+        log.append("p", "get")
+        assert log.blocks_sealed == 0
+        clock.advance(1.5)      # daemon timer fires inside the window
+        assert log.blocks_sealed == 1
+        assert log.pending_records == 0
+
+    def test_quiescent_timer_needs_no_traffic(self):
+        # The starvation bugfix, block-mode flavour: sealing fires from
+        # the scheduler, not from the next append.
+        log, clock = make_block_log(block_size=100, batch_interval=1.0)
+        log.append("p", "get")
+        clock.run_until_idle(deadline=5.0)
+        assert log.blocks_sealed == 1
+
+    def test_verify_durable_counts_members(self):
+        log, _ = make_block_log(block_size=4)
+        for i in range(8):
+            log.append("p", "get", key=f"k{i}")
+        assert log.verify_durable() == 8
+
+    def test_sync_seals_pending(self):
+        log, _ = make_block_log(block_size=100)
+        for i in range(5):
+            log.append("p", "get")
+        assert log.at_risk_records() == 5
+        log.sync()
+        assert log.at_risk_records() == 0
+        assert log.verify_durable() == 5
+
+    def test_parse_expands_blocks(self):
+        log, _ = make_block_log(block_size=2)
+        log.append("p", "get", key="a")
+        log.append("p", "put", key="b")
+        records = AuditLog.parse(log.log.read_durable())
+        assert [r.key for r in records] == ["a", "b"]
+
+    def test_block_charges_one_fsync_cost(self):
+        log, clock = make_block_log(block_size=50,
+                                    latency=INTEL_750_SSD)
+        before = clock.now()
+        for i in range(50):
+            log.append("p", "get")
+        elapsed = clock.now() - before
+        assert elapsed < 2 * INTEL_750_SSD.fsync
+
+
+class TestBlockTamperEvidence:
+    def _sealed_log(self, n=8, block_size=4):
+        log, _ = make_block_log(block_size=block_size)
+        for i in range(n):
+            log.append("p", "get", key=f"k{i}", subject=f"s{i % 2}")
+        return log
+
+    def test_truncation_mid_block_detected(self):
+        log = self._sealed_log()
+        data = log.log.read_durable()
+        with pytest.raises(AuditError):
+            AuditLog.verify_block_bytes(data[:-10])
+
+    def test_whole_block_truncation_detected_by_instance(self):
+        # Chopping the final block leaves a valid shorter chain; the
+        # instance knows how many records it sealed and flags the loss.
+        log = self._sealed_log()
+        lines = log.log.read_durable().splitlines(keepends=True)
+        log.log._data = bytearray(b"".join(lines[:-1]))
+        log.log._cached_length = len(log.log._data)
+        log.log._durable_length = len(log.log._data)
+        with pytest.raises(AuditError, match="sealed"):
+            log.verify_durable()
+
+    def test_tampered_member_detected(self):
+        log = self._sealed_log()
+        lines = log.log.read_durable().splitlines()
+        envelope = json.loads(lines[0])
+        body = json.loads(envelope["members"][1])
+        body["key"] = "FORGED"
+        envelope["members"][1] = json.dumps(
+            body, sort_keys=True, separators=(",", ":"))
+        forged = json.dumps(envelope, sort_keys=True,
+                            separators=(",", ":")).encode() + b"\n"
+        data = forged + b"\n".join(lines[1:]) + b"\n"
+        with pytest.raises(AuditError, match="member digest"):
+            AuditLog.verify_block_bytes(data)
+
+    def test_tampered_header_detected(self):
+        log = self._sealed_log()
+        lines = log.log.read_durable().splitlines()
+        envelope = json.loads(lines[0])
+        envelope["sealed_at"] = 99.0
+        forged = json.dumps(envelope, sort_keys=True,
+                            separators=(",", ":")).encode() + b"\n"
+        data = forged + b"\n".join(lines[1:]) + b"\n"
+        with pytest.raises(AuditError):
+            AuditLog.verify_block_bytes(data)
+
+    def test_reordered_blocks_detected(self):
+        log = self._sealed_log(n=8, block_size=4)
+        lines = log.log.read_durable().splitlines(keepends=True)
+        assert len(lines) == 2
+        with pytest.raises(AuditError):
+            AuditLog.verify_block_bytes(lines[1] + lines[0])
+
+    def test_removed_block_detected(self):
+        log = self._sealed_log(n=12, block_size=4)
+        lines = log.log.read_durable().splitlines(keepends=True)
+        with pytest.raises(AuditError):
+            AuditLog.verify_block_bytes(lines[0] + lines[2])
+
+    def test_crash_between_seal_and_fsync_detected(self):
+        # Sealing advances the chain before the group commit; a crash in
+        # the gap must not go unnoticed.
+        log, _ = make_block_log(block_size=4)
+        for i in range(4):
+            log.append("p", "get", key=f"k{i}")
+        assert log.blocks_sealed == 1
+
+        def failing_fsync():
+            raise DeviceIOError("power lost before fsync")
+        log.log.fsync = failing_fsync
+        with pytest.raises(DeviceIOError):
+            for i in range(4):
+                log.append("p", "put", key=f"x{i}")
+        assert log.blocks_sealed == 2   # chain committed to block 2...
+        log.log.crash(power_loss=True)  # ...which the device lost
+        with pytest.raises(AuditError, match="sealed"):
+            log.verify_durable()
+
+    def test_instance_verify_covers_written_blocks(self):
+        log = self._sealed_log(n=8, block_size=4)
+        assert log.verify() == 8
+
+
+class TestGroupCommitTimer:
+    def test_batch_quiescent_log_syncs_via_timer(self):
+        # The starvation bugfix proper: no append ever runs after the
+        # first one, yet the at-risk records drain on the interval.
+        clock = SimClock()
+        log = AuditLog(log=AppendLog(clock=clock,
+                                     latency=INTEL_750_SSD.scaled(0)),
+                       clock=clock, durability=AuditDurability.BATCH,
+                       batch_interval=1.0)
+        log.append("p", "get")
+        assert log.at_risk_records() == 1
+        clock.run_until_idle(deadline=3.0)
+        assert log.at_risk_records() == 0
+
+    def test_timer_is_daemon(self):
+        clock = SimClock()
+        AuditLog(log=AppendLog(clock=clock), clock=clock,
+                 durability=AuditDurability.BATCH, batch_interval=1.0)
+        # Daemon events must not keep run_until_idle alive on their own.
+        assert clock.pending_live_events() == 0
+
+    def test_sync_mode_registers_no_timer(self):
+        clock = SimClock()
+        AuditLog(log=AppendLog(clock=clock), clock=clock,
+                 durability=AuditDurability.SYNC)
+        assert clock.pending_timers() == 0
+
+    def test_stop_timer(self):
+        log, clock = make_block_log(block_size=100, batch_interval=1.0)
+        log.append("p", "get")
+        log.stop_timer()
+        clock.advance(5.0)
+        assert log.blocks_sealed == 0
+
+
+class TestAtRiskIncremental:
+    def test_no_durable_rereads(self):
+        # at_risk_records must not touch the device: O(1), not O(bytes).
+        log, _ = make_block_log(block_size=2)
+        for i in range(10):
+            log.append("p", "get")
+        reads = []
+        original = log.log.read_durable
+        log.log.read_durable = lambda: reads.append(1) or original()
+        assert log.at_risk_records() == 0
+        assert reads == []
+
+    def test_batch_counter_tracks_fsync(self):
+        clock = SimClock()
+        log = AuditLog(log=AppendLog(clock=clock,
+                                     latency=INTEL_750_SSD.scaled(0)),
+                       clock=clock, durability=AuditDurability.BATCH,
+                       batch_interval=1.0)
+        for _ in range(3):
+            log.append("p", "get")
+        assert log.at_risk_records() == 3
+        clock.advance(1.5)
+        assert log.at_risk_records() == 0
+
+
+class TestBoundedMemory:
+    def test_window_bounds_memory(self):
+        log, _ = make_block_log(block_size=4, memory_window=10)
+        for i in range(50):
+            log.append("p", "get", key=f"k{i}", subject=f"s{i % 5}")
+        assert len(log.records()) == 10
+        assert log.record_count == 50
+
+    def test_subject_index_respects_window(self):
+        log, _ = make_block_log(block_size=4, memory_window=10)
+        for i in range(50):
+            log.append("p", "get", key=f"k{i}", subject=f"s{i % 5}")
+        alice = log.records_for_subject("s0")
+        assert [r.key for r in alice] == ["k40", "k45"]
+
+    def test_subject_index_matches_scan(self):
+        log, _ = make_block_log(block_size=4)
+        for i in range(30):
+            log.append("p", "get", key=f"k{i}", subject=f"s{i % 3}")
+        for subject in ("s0", "s1", "s2"):
+            indexed = log.records_for_subject(subject)
+            scanned = [r for r in log.records() if r.subject == subject]
+            assert indexed == scanned
+
+    def test_records_between_bisected(self):
+        log, clock = make_block_log(block_size=100)
+        for i in range(10):
+            log.append("p", f"op{i}")
+            clock.advance(1.0)
+        window = log.records_between(2.5, 6.5)
+        assert [r.operation for r in window] == ["op3", "op4", "op5",
+                                                 "op6"]
+
+    def test_checkpoint_releases_memory(self):
+        log, _ = make_block_log(block_size=4)
+        for i in range(20):
+            log.append("p", "get", subject="alice")
+        dropped = log.checkpoint()
+        assert dropped == 20
+        assert log.records() == []
+        assert log.records_for_subject("alice") == []
+        # The evidence itself is still durable and verifiable.
+        assert log.verify() == 20
+
+    def test_record_mode_window_verifies_anchored(self):
+        clock = SimClock()
+        log = AuditLog(log=AppendLog(clock=clock), clock=clock,
+                       memory_window=5)
+        for i in range(20):
+            log.append("p", "get", key=f"k{i}")
+        window = log.records()
+        assert len(window) == 5
+        assert window[0].seq == 15
+        # A bounded window anchors at its first record and verifies.
+        assert AuditLog.verify_chain(window) == 5
+        assert log.verify() == 5
+
+
+class TestBlockRoundtrip:
+    def test_block_line_roundtrip(self):
+        log, _ = make_block_log(block_size=2)
+        log.append("p", "get", key="a")
+        log.append("p", "put", key="b")
+        line = log.log.read_durable().splitlines()[0]
+        block = AuditBlock.from_line(line)
+        assert block.count == 2
+        assert block.first_seq == 0
+        assert [r.key for r in block.records()] == ["a", "b"]
+
+    def test_corrupt_block_line_raises(self):
+        with pytest.raises(AuditError):
+            AuditBlock.from_line(b'{"count": 1, "nope": true}')

@@ -183,3 +183,38 @@ class TestDispatch:
         store.execute("SET", "k", "v")
         store.execute("GET", "k")
         assert store.stats.commands_processed == 2
+
+
+class TestSetAbsoluteExpiry:
+    def test_set_pxat_sets_deadline(self, store):
+        store.execute("SET", "k", "v", "PXAT", 100_000)
+        assert 99 <= store.execute("TTL", "k") <= 100
+
+    def test_set_exat_sets_deadline(self, store):
+        store.execute("SET", "k", "v", "EXAT", 500)
+        assert 499 <= store.execute("TTL", "k") <= 500
+
+    def test_pxat_in_past_rejected(self, store):
+        with pytest.raises(RespError):
+            store.execute("SET", "k", "v", "PXAT", 0)
+
+    def test_pxat_fuses_to_one_aof_record(self):
+        from repro.kvstore import StoreConfig
+        store = KeyValueStore(StoreConfig(appendonly=True))
+        store.execute("SET", "k", "v", "PXAT", 100_000)
+        assert store.aof_log.appends == 1
+
+    def test_relative_expiry_still_two_records(self):
+        from repro.kvstore import StoreConfig
+        store = KeyValueStore(StoreConfig(appendonly=True))
+        store.execute("SET", "k", "v", "EX", 100)
+        assert store.aof_log.appends == 2
+
+    def test_fused_record_replays_deadline(self):
+        from repro.kvstore import StoreConfig
+        store = KeyValueStore(StoreConfig(appendonly=True))
+        store.execute("SET", "k", "v", "PXAT", 100_000)
+        replica = KeyValueStore(StoreConfig(appendonly=True))
+        replica.replay_aof(store.aof_log.read_all())
+        assert replica.execute("GET", "k") == b"v"
+        assert 99 <= replica.execute("TTL", "k") <= 100

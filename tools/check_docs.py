@@ -46,6 +46,10 @@ REQUIRED_DOC_CONTENT = {
          "the StorageEngine contract (write/deletion taps, keyspace "
          "views, durability hooks) every upper layer is written "
          "against, and the two backends implementing it"),
+        ("## Audit",
+         "the sealed-block chain + write-behind indexing contract and "
+         "the visibility-window trade-off the fast-GDPR mode is "
+         "written against"),
     ],
     "docs/benchmarks.md": [
         ("### Reading the `replication` output",
@@ -54,6 +58,9 @@ REQUIRED_DOC_CONTENT = {
         ("### Reading the `backends` output",
          "the per-feature overhead table needs a reading guide or the "
          "paper's Redis-vs-Postgres headline is unverifiable"),
+        ("### Reading the `fast-gdpr` row",
+         "the fast-GDPR column needs a reading guide or the "
+         "throughput-vs-visibility-window trade-off is unverifiable"),
         ("concurrency_hockey_stick.txt",
          "the committed latency-vs-offered-load artifact must stay "
          "documented and regenerable"),
