@@ -55,9 +55,11 @@ from ..gdpr.rights import (
     right_to_erasure,
     right_to_object,
 )
+from ..device.append_log import AppendLog
 from ..engine.base import StorageEngine
 from ..gdpr.store import CONTROLLER, GDPRConfig, GDPRStore
 from ..kvstore.store import KeyValueStore, StoreConfig
+from ..tiering import TieredEngine, TieringConfig
 from .migration import GDPRSlotMigrator, MigrationReceipt
 from .replication import ClusterReplication
 from .slots import SlotMap, slot_for_key
@@ -98,7 +100,8 @@ class ShardedGDPRStore:
                  slot_map: Optional[SlotMap] = None,
                  config_factory: Optional[GDPRConfigFactory] = None,
                  kv_factory: Optional[KVFactory] = None,
-                 fast_gdpr: bool = False) -> None:
+                 fast_gdpr: bool = False,
+                 tiering: Optional[TieringConfig] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.keystore = keystore if keystore is not None else KeyStore()
         self.slots = slot_map if slot_map is not None \
@@ -118,12 +121,29 @@ class ShardedGDPRStore:
                     clock=kv_clock)
         self._config_factory = config_factory
         self._kv_factory = kv_factory
+        # When a tiering config is supplied, every shard's engine is
+        # wrapped in a TieredEngine over its own cold device; the shared
+        # keystore is attached by each shard's GDPRStore, so one
+        # crypto-erasure voids archived ciphertexts on every shard.
+        self.tiering = tiering
         self.shards: List[GDPRStore] = [
-            GDPRStore(kv=kv_factory(index, self.clock),
+            GDPRStore(kv=self._build_engine(index),
                       config=config_factory(index),
                       keystore=self.keystore)
             for index in range(num_shards)]
         self.replication: Optional[ClusterReplication] = None
+
+    def _build_engine(self, index: int,
+                      cold_device: Optional[AppendLog] = None
+                      ) -> StorageEngine:
+        kv = self._kv_factory(index, self.clock)
+        if self.tiering is not None \
+                and not getattr(kv, "supports_tiering", False):
+            if cold_device is None:
+                cold_device = AppendLog(clock=self.clock,
+                                        name=f"shard-{index}.cold")
+            kv = TieredEngine(kv, device=cold_device, tiering=self.tiering)
+        return kv
 
     # -- routing -----------------------------------------------------------
 
@@ -499,7 +519,12 @@ class ShardedGDPRStore:
             aof_bytes = old.kv.aof_log.read_all()
         # Rebuild through the same factory that made the shard, so the
         # replacement keeps its configuration and device-latency model.
-        kv = self._kv_factory(index, self.clock)
+        # A tiered shard keeps its cold device: the archive's durable
+        # bytes (segments, tombstones, erasure markers) survive the
+        # crash and are re-indexed by the fresh TieredEngine.
+        old_cold = getattr(old.kv, "cold", None)
+        kv = self._build_engine(
+            index, cold_device=old_cold.device if old_cold else None)
         replayed = kv.replay_aof(aof_bytes)
         if kv.aof_log is not None:
             # Seed the replacement AOF with the recovered state so the

@@ -9,6 +9,7 @@ from .cipher import (
     StreamCipher,
     derive_key,
     random_bytes,
+    seeded_entropy,
 )
 from .keystore import KeyStore
 from .pseudonymize import Pseudonymizer
@@ -22,6 +23,7 @@ __all__ = [
     "StreamCipher",
     "derive_key",
     "random_bytes",
+    "seeded_entropy",
     "KeyStore",
     "Pseudonymizer",
 ]

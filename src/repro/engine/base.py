@@ -107,6 +107,13 @@ class StorageEngine:
     #: into ONE command (and one AOF record) instead of SET + PEXPIREAT.
     supports_set_with_expiry: bool = False
 
+    #: True when the engine is a tiering layer (a hot engine plus a cold
+    #: segment archive presenting one keyspace).  The GDPR layer then
+    #: attaches its keystore (so demoted values seal under per-subject
+    #: keys), audits tier events, and extends Art. 17 to the archive via
+    #: ``erase_subject_cold``.
+    supports_tiering: bool = False
+
     def __init__(self) -> None:
         self.deletion_listeners: List[DeletionListener] = []
         self.write_listeners: List[WriteListener] = []
@@ -165,6 +172,22 @@ class StorageEngine:
         """Compact the durable command log to current live state
         (BGREWRITEAOF / WAL checkpoint); returns the new log size."""
         raise NotImplementedError
+
+    # -- tiering hook ------------------------------------------------------
+
+    def demote_remove(self, key: bytes, db_index: int = 0) -> bool:
+        """Remove ``key`` from the keyspace on behalf of a tiering layer
+        that has just sealed a durable cold copy.
+
+        Contract (both engines implement it): the deletion tap fires
+        with reason ``"demote"`` (so compliance layers keep their
+        metadata -- a tier move is not an erasure), the durable log
+        records a DEL (the record's durable home is now the cold
+        device), and the effective-write stream stays **silent** --
+        replicas keep serving their full copy.  Returns True when a
+        record was removed."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support tier demotion")
 
     # -- replication -------------------------------------------------------
 

@@ -77,6 +77,9 @@ class ErasureReceipt:
     crypto_erased: bool
     log_compacted: bool
     residual_in_aof: bool   # deleted keys still visible in the AOF?
+    #: Cold segments the erasure reached (tiered stores only): every
+    #: archived ciphertext of the subject is void without a rewrite.
+    cold_segments_voided: int = 0
 
     @property
     def duration(self) -> float:
@@ -93,6 +96,14 @@ def right_of_access(store: GDPRStore, subject: str,
     report = AccessReport(subject=subject, generated_at=started)
     purposes = set()
     recipients = set()
+    tiered = getattr(store.kv, "supports_tiering", False)
+    cold_keys = set()
+    if tiered:
+        # Which of the subject's records live in the archive right now?
+        # Answered from the per-subject segment blooms -- captured before
+        # the reads below promote them.
+        cold_keys = {k.decode("utf-8", "replace")
+                     for k in store.kv.cold_keys_of_subject(subject)}
     for key in store.keys_of_subject(subject):
         record = store.get(key, principal=principal)
         meta = record.metadata
@@ -100,7 +111,7 @@ def right_of_access(store: GDPRStore, subject: str,
         recipients.update(meta.shared_with)
         if meta.decision_making:
             report.automated_decision_keys.append(key)
-        report.records.append({
+        row = {
             "key": key,
             "purposes": sorted(meta.purposes),
             "objections": sorted(meta.objections),
@@ -109,7 +120,10 @@ def right_of_access(store: GDPRStore, subject: str,
             "retention_seconds": meta.ttl,
             "stored_in": store.locations.locations_of(key),
             "value_bytes": len(record.value),
-        })
+        }
+        if tiered:
+            row["tier"] = "cold" if key in cold_keys else "hot"
+        report.records.append(row)
     report.purposes = sorted(purposes)
     report.recipients = sorted(recipients)
     report.elapsed = store.clock.now() - started
@@ -142,6 +156,13 @@ def right_to_erasure(store: GDPRStore, subject: str,
     store.access.check(principal, Operation.DELETE, meta_sample, None, now)
     for key in keys:
         store.kv.execute("DEL", key)
+    cold_voided = 0
+    if getattr(store.kv, "supports_tiering", False):
+        # The DELs above evicted every *indexed* cold copy; the subject
+        # marker voids any archived stragglers and persists the erasure
+        # on the cold device itself (fsynced), independent of the
+        # keystore tombstone below.
+        cold_voided = store.kv.erase_subject_cold(subject)
     crypto_erased = False
     if store.config.encrypt_at_rest:
         crypto_erased = store.keystore.erase_key(subject)
@@ -165,7 +186,7 @@ def right_to_erasure(store: GDPRStore, subject: str,
         subject=subject, requested_at=requested_at,
         completed_at=completed_at, keys_erased=keys,
         crypto_erased=crypto_erased, log_compacted=compacted,
-        residual_in_aof=residual)
+        residual_in_aof=residual, cold_segments_voided=cold_voided)
 
 
 def portability_rows(store: GDPRStore, subject: str, fmt: str = "json",

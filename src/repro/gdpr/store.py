@@ -140,6 +140,16 @@ class GDPRStore:
                 self._apply_writebehind, clock=self.clock,
                 interval=self.config.writebehind_interval)
         self.kv.add_deletion_listener(self._on_kv_deletion)
+        if getattr(self.kv, "supports_tiering", False):
+            # A tiering engine archives idle records into cold segments:
+            # give it the keystore (demoted values seal under their
+            # subject's key, so crypto-erasure reaches the archive),
+            # audit its tier events, and drain deferred compliance work
+            # before any record leaves the hot tier.
+            self.kv.attach_keystore(self.keystore)
+            self.kv.add_tier_listener(self._on_tier_event)
+            if self._writebehind is not None:
+                self.kv.before_demote = self._writebehind.flush
 
     # -- internal helpers ---------------------------------------------------------
 
@@ -182,9 +192,21 @@ class GDPRStore:
         self.kv.annotate_metadata(key, metadata.owner, metadata.purposes)
         self.locations.record_stored(key, self.config.region)
 
+    def _on_tier_event(self, event: str, detail: str,
+                       subject: Optional[str]) -> None:
+        """Tier listener: demotions, promotions, and cold erasures are
+        compliance-relevant data movements -- chain them."""
+        self._record_audit("system", f"tier-{event}", None, subject,
+                           None, "ok", detail=detail)
+
     def _on_kv_deletion(self, db_index: int, key_bytes: bytes,
                         reason: str, when: float) -> None:
         """Deletion listener: keep indexes honest, timestamp erasures."""
+        if reason == "demote":
+            # A demotion is a tier move, not an erasure: the record is
+            # still served (promote-on-read), so metadata, location, and
+            # erasure bookkeeping must not see it.
+            return
         key = key_bytes.decode("utf-8", "replace")
         if self._writebehind is not None:
             # Never apply deferred maintenance to a dead key (a late

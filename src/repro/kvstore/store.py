@@ -277,6 +277,19 @@ class KeyValueStore(StorageEngine):
             self.aof.feed_command(db.index, [b"DEL", key], is_write=True)
         self.notify_write(db.index, [b"DEL", key])
 
+    def demote_remove(self, key: bytes, db_index: int = 0) -> bool:
+        """Tier-demotion removal (see the engine contract): deletion tap
+        fires with reason ``"demote"``, the AOF records a DEL (the
+        record's durable home moved to the cold device), and the
+        effective-write stream stays silent so replicas keep their
+        copy."""
+        db = self.databases[db_index]
+        existed = self.delete_key(db, key, reason="demote")
+        if existed and self.aof is not None and not self._loading:
+            self.aof.feed_command(db.index, [b"DEL", key], is_write=True)
+            self.aof.post_command()
+        return existed
+
     # -- cron ---------------------------------------------------------------------
 
     def tick(self) -> None:

@@ -223,6 +223,21 @@ class RelationalStore(StorageEngine):
         self.stats.expired_keys += 1
         self._propagate_del(key)
 
+    def demote_remove(self, key: bytes, db_index: int = 0) -> bool:
+        """Tier-demotion removal (see the engine contract): deletion tap
+        fires with reason ``"demote"``, the WAL records a DEL (the
+        row's durable home moved to the cold device), and the
+        effective-write stream stays silent so replicas keep their
+        copy."""
+        row = self.table.get(key)
+        if row is None:
+            return False
+        self._delete_row(key, reason="demote")
+        if self.wal is not None and not self._loading:
+            self.wal.feed_command(0, [b"DEL", key], is_write=True)
+            self.wal.post_command()
+        return True
+
     def _live_row(self, key: bytes, for_read: bool = False) -> Optional[Row]:
         row = self.table.get(key)
         if row is not None and row.expire_at is not None \

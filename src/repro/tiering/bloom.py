@@ -1,0 +1,95 @@
+"""Deterministic bloom filters for cold-segment membership.
+
+Each sealed segment carries two of these: one over member *keys* (so
+promote-on-read can skip segments without decompressing them) and one
+over member *subjects* (so Art. 15/17 fan-out can answer "which cold
+segments hold this subject" from RAM).  Hashing is double hashing
+derived from SHA-256 -- fully deterministic across runs and platforms,
+which the byte-identical bench re-runs in CI rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterable
+
+from ..common.hashing import sha256_bytes
+
+_HEADER = struct.Struct(">III")  # bit count, hash count, added count
+
+
+class BloomFilter:
+    """A fixed-size bloom filter with ``k`` double-hashed probes.
+
+    Sized via :meth:`for_capacity` the filter targets *half* the
+    configured false-positive rate, leaving headroom so the measured
+    rate stays under the configured bound even at full capacity (the
+    property suite checks exactly this).
+    """
+
+    __slots__ = ("bit_count", "hash_count", "added", "_bits")
+
+    def __init__(self, bit_count: int, hash_count: int) -> None:
+        if bit_count <= 0:
+            raise ValueError("bit_count must be positive")
+        if hash_count <= 0:
+            raise ValueError("hash_count must be positive")
+        self.bit_count = bit_count
+        self.hash_count = hash_count
+        self.added = 0
+        self._bits = bytearray((bit_count + 7) // 8)
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float) -> "BloomFilter":
+        """Size a filter for ``capacity`` items at <= ``fp_rate`` FPs."""
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        capacity = max(1, capacity)
+        target = fp_rate / 2.0  # headroom: measured rate < configured bound
+        ln2 = math.log(2.0)
+        bit_count = max(8, math.ceil(-capacity * math.log(target) / (ln2 * ln2)))
+        hash_count = max(1, round((bit_count / capacity) * ln2))
+        return cls(bit_count, hash_count)
+
+    def _probes(self, item: bytes) -> Iterable[int]:
+        digest = sha256_bytes(item)
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1  # odd => full cycle
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.bit_count
+
+    def add(self, item: bytes) -> None:
+        for idx in self._probes(item):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.added += 1
+
+    def update(self, items: Iterable[bytes]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(self._bits[idx >> 3] & (1 << (idx & 7)) for idx in self._probes(item))
+
+    def may_contain(self, item: bytes) -> bool:
+        return item in self
+
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.bit_count
+
+    def to_bytes(self) -> bytes:
+        return _HEADER.pack(self.bit_count, self.hash_count, self.added) + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated bloom filter")
+        bit_count, hash_count, added = _HEADER.unpack_from(data, 0)
+        bloom = cls(bit_count, hash_count)
+        bits = data[_HEADER.size:]
+        if len(bits) != len(bloom._bits):
+            raise ValueError("bloom filter bit array length mismatch")
+        bloom._bits[:] = bits
+        bloom.added = added
+        return bloom

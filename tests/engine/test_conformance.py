@@ -1,11 +1,15 @@
-"""Engine-conformance suite: both backends, one contract.
+"""Engine-conformance suite: every backend, one contract.
 
-Every test runs twice -- once over the Redis-like hash-table store,
-once over the relational engine -- asserting the shared
-:class:`~repro.engine.base.StorageEngine` semantics: command behaviour,
-expiry (lazy and active, with translated DEL propagation), deletion
-reasons, DUMP/RESTORE, snapshot and durable-log round trips, keyspace
-views, replication spawning, and GDPR erasure through the facade.
+Every test runs four times -- over the Redis-like hash-table store, the
+relational engine, and a **tiered** variant of each (the hot engine
+behind :class:`~repro.tiering.TieredEngine`, with demotion aggressive
+enough that records routinely cross tiers mid-test) -- asserting the
+shared :class:`~repro.engine.base.StorageEngine` semantics: command
+behaviour, expiry (lazy and active, with translated DEL propagation),
+deletion reasons, DUMP/RESTORE, snapshot and durable-log round trips,
+keyspace views, replication spawning, and GDPR erasure through the
+facade.  The tiered variants passing the *same* assertions is the
+transparency contract: tiering must be observationally invisible.
 """
 
 import pytest
@@ -15,13 +19,14 @@ from repro.common.errors import StoreError
 from repro.common.resp import RespError
 from repro.crypto.keystore import KeyStore
 from repro.device.append_log import AppendLog
-from repro.engine.base import ENGINES, StorageEngine
+from repro.engine.base import ENGINES, StorageEngine, register_engine
 from repro.gdpr.metadata import GDPRMetadata
 from repro.gdpr.store import GDPRConfig, GDPRStore
 from repro.kvstore.aof import contains_key
 from repro.kvstore.replication import ReplicationManager
 from repro.kvstore.store import KeyValueStore, StoreConfig
 from repro.sqlstore import RelationalStore, SqlConfig
+from repro.tiering import TieredEngine, TieringConfig
 
 
 def _make_kv(clock):
@@ -36,7 +41,21 @@ def _make_sql(clock):
         clock=clock, wal_log=AppendLog(clock=clock))
 
 
-FACTORIES = {"redislike": _make_kv, "relational": _make_sql}
+def _tiered(base_factory):
+    def make(clock):
+        return TieredEngine(
+            base_factory(clock),
+            tiering=TieringConfig(demote_idle_after=4, demote_interval=1,
+                                  segment_max_records=4))
+    return make
+
+
+FACTORIES = {
+    "redislike": _make_kv,
+    "relational": _make_sql,
+    "tiered-redislike": _tiered(_make_kv),
+    "tiered-relational": _tiered(_make_sql),
+}
 
 
 @pytest.fixture(params=sorted(FACTORIES))
@@ -284,3 +303,73 @@ def test_gdpr_index_rebuild_over_either_engine(gdpr_store):
     assert store.rebuild_indexes() == 3
     assert store.keys_of_subject("alice") == \
         ["user:0", "user:1", "user:2"]
+
+
+# -- cross-tier indistinguishability -----------------------------------------
+
+# A scripted client session with two non-command markers: ("advance", s)
+# moves the clock, ("demote",) force-demotes every hot record on the
+# tiered run (a no-op on the hot-only run).  Every reply the client sees
+# must be identical either way.
+_TIER_SCRIPT = [
+    ("SET", "a", "1"), ("SET", "b", "2"), ("SET", "c", "3"),
+    ("SET", "d", "4"),
+    ("EXPIRE", "c", 30), ("EXPIRE", "d", 2),
+    ("advance", 1), ("demote",),
+    ("GET", "a"), ("TTL", "c"), ("EXISTS", "a", "b", "nope"),
+    ("KEYS", "*"), ("DBSIZE",),
+    ("advance", 5),                       # d's deadline passes while cold
+    ("GET", "d"), ("DBSIZE",), ("KEYS", "*"),
+    ("demote",),
+    ("DEL", "b", "missing"), ("EXISTS", "b"),
+    ("SET", "a", "overwrite"), ("GET", "a"),
+    ("SET", "c", "3!"), ("GET", "c"), ("TTL", "c"),
+    ("demote",), ("advance", 1),
+    ("GET", "a"), ("GET", "b"), ("GET", "c"), ("DBSIZE",),
+]
+
+
+def _run_script(engine, script):
+    replies = []
+    for step in script:
+        if step[0] == "advance":
+            engine.clock.advance(step[1])
+        elif step[0] == "demote":
+            if isinstance(engine, TieredEngine):
+                engine.demote_keys(engine.inner.live_keys(0))
+        else:
+            reply = engine.execute(*step)
+            if step[0] == "KEYS":       # order is unspecified; normalize
+                reply = sorted(reply)
+            replies.append((step, reply))
+    final = sorted((r.key, r.value, r.expire_at)
+                   for r in engine.scan_records())
+    return replies, final
+
+
+@pytest.mark.parametrize("base", ["redislike", "relational"])
+def test_tiered_engine_indistinguishable_from_hot_only(base):
+    """The same client script against a hot-only engine and a tiered one
+    (with forced demotions interleaved) produces identical replies and
+    an identical final keyspace."""
+    hot_replies, hot_final = _run_script(
+        FACTORIES[base](SimClock()), _TIER_SCRIPT)
+    tiered_engine = FACTORIES[f"tiered-{base}"](SimClock())
+    tiered_replies, tiered_final = _run_script(tiered_engine, _TIER_SCRIPT)
+    assert tiered_replies == hot_replies
+    assert tiered_final == hot_final
+    # The script really did exercise the archive, not an empty cold path.
+    assert tiered_engine.demotions > 0
+    assert tiered_engine.promotions > 0
+
+
+# -- registry hygiene --------------------------------------------------------
+
+def test_register_engine_rejects_duplicate_name():
+    """Two different classes cannot claim one engine name; re-registering
+    the same class is idempotent."""
+    register_engine("redislike", KeyValueStore)     # same class: no-op
+    assert ENGINES["redislike"] is KeyValueStore
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine("redislike", RelationalStore)
+    assert ENGINES["redislike"] is KeyValueStore    # registry unchanged

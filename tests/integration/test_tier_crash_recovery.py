@@ -1,0 +1,140 @@
+"""Integration: crashes across the tiered persistence stack.
+
+The demotion protocol's crash contract: the seal ends with an fsync
+*before* hot copies are removed, so whatever instant power is lost,
+
+* every record survives in at least one tier (a torn seal leaves the
+  hot copy; a completed seal is durable),
+* nothing deleted or erased is resurrected by recovery (durable
+  tombstones + subject markers + crypto-erasure).
+"""
+
+from repro.common.clock import SimClock
+from repro.device.append_log import AppendLog
+from repro.gdpr.metadata import GDPRMetadata
+from repro.gdpr.rights import right_to_erasure
+from repro.gdpr.store import GDPRConfig, GDPRStore
+from repro.kvstore.store import KeyValueStore, StoreConfig
+from repro.tiering import TieredEngine, TieringConfig
+from repro.tiering.segment import ColdInput, ColdSegmentStore
+
+
+def make_engine(clock=None, cold_device=None, keystore=None):
+    clock = clock if clock is not None else SimClock()
+    inner = KeyValueStore(
+        StoreConfig(appendonly=True, appendfsync="always"),
+        clock=clock, aof_log=AppendLog(clock=clock))
+    return TieredEngine(inner, device=cold_device, keystore=keystore,
+                        tiering=TieringConfig(auto_demote=False,
+                                              segment_max_records=4))
+
+
+def recover(engine, keystore=None):
+    """Post-crash rebuild: fresh hot store replaying the surviving AOF,
+    fresh cold index recovered from the surviving device bytes."""
+    aof_bytes = engine.aof_log.read_all()
+    recovered = make_engine(clock=engine.clock,
+                            cold_device=engine.cold.device,
+                            keystore=keystore)
+    recovered.replay_aof(aof_bytes)
+    return recovered
+
+
+class TestTornSeal:
+    def test_truncated_seal_loses_no_data(self):
+        engine = make_engine()
+        for i in range(4):
+            engine.execute("SET", f"k{i}", f"v{i}")
+        engine.demote_keys([b"k0", b"k1"])        # a completed seal
+        # Power fails mid-way through sealing k2/k3: the segment frame
+        # reaches the device truncated, and -- crucially -- the hot
+        # copies were never removed (removal follows the fsync barrier).
+        scratch = ColdSegmentStore(device=AppendLog(clock=engine.clock))
+        scratch.seal([ColdInput(b"k2", b"v2", None, None),
+                      ColdInput(b"k3", b"v3", None, None)], sealed_at=0.0)
+        torn = scratch.device.read_all()[:-9]     # cut inside the frame
+        engine.cold.device.append(torn)
+        engine.cold.device.flush_and_fsync()
+        recovered = recover(engine)
+        assert recovered.cold.torn_frames_dropped == 1
+        assert recovered.cold.recovered_segments == 1
+        for i in range(4):                        # nothing lost, either tier
+            assert recovered.execute("GET", f"k{i}") == f"v{i}".encode()
+        assert recovered.execute("DBSIZE") == 4
+
+    def test_crash_between_seal_and_hot_removal(self):
+        engine = make_engine()
+        engine.execute("SET", "dup", "value")
+        # The seal completed (fsynced) but the crash hit before
+        # demote_remove: the record exists in both tiers.
+        engine.cold.seal([ColdInput(b"dup", b"stale", None, None)],
+                         sealed_at=0.0)
+        engine.aof_log.crash(power_loss=True)
+        engine.cold.device.crash(power_loss=True)
+        recovered = recover(engine)
+        # Hot is authoritative over the crash-window shadow.
+        assert recovered.execute("GET", "dup") == b"value"
+        assert recovered.execute("DBSIZE") == 1
+        assert recovered.execute("KEYS", "*") == [b"dup"]
+
+    def test_deleted_cold_key_stays_dead_after_power_loss(self):
+        engine = make_engine()
+        engine.execute("SET", "gone", "v")
+        engine.demote_keys([b"gone"])
+        engine.execute("GET", "gone")             # promote ...
+        assert engine.execute("DEL", "gone") == 1  # ... then delete
+        engine.aof_log.crash(power_loss=True)
+        engine.cold.device.crash(power_loss=True)
+        recovered = recover(engine)
+        # The archived copy must not resurrect through the replay
+        # (which skips evictions): the DEL laid a durable tombstone.
+        assert recovered.execute("GET", "gone") is None
+        assert recovered.execute("DBSIZE") == 0
+
+
+class TestErasureSurvivesCrash:
+    def _store(self):
+        clock = SimClock()
+        engine = make_engine(clock=clock)
+        store = GDPRStore(kv=engine, config=GDPRConfig())
+        meta = GDPRMetadata(owner="alice",
+                            purposes=frozenset({"billing"}))
+        bob = GDPRMetadata(owner="bob", purposes=frozenset({"billing"}))
+        for i in range(4):
+            store.put(f"alice:{i}", b"a" * 16, meta)
+        store.put("bob:0", b"b" * 16, bob)
+        engine.demote_keys([b"alice:0", b"alice:1", b"bob:0"])
+        return store, engine
+
+    def test_erased_subject_not_resurrected_by_recovery(self):
+        store, engine = self._store()
+        receipt = right_to_erasure(store, "alice")
+        assert receipt.cold_segments_voided >= 1
+        engine.aof_log.crash(power_loss=True)
+        engine.cold.device.crash(power_loss=True)
+        recovered_kv = recover(engine, keystore=store.keystore)
+        recovered = GDPRStore(kv=recovered_kv, config=GDPRConfig(),
+                              keystore=store.keystore)
+        assert recovered.rebuild_indexes() == 1   # only bob decrypts
+        assert not recovered.subject_exists("alice")
+        assert recovered.keys_of_subject("bob") == ["bob:0"]
+        assert recovered.get("bob:0").value == b"b" * 16
+        # The subject marker survived on the cold device itself.
+        assert "alice" in recovered_kv.cold.erased_subjects
+        assert recovered_kv.cold_keys_of_subject("alice") == []
+        for i in range(4):
+            assert recovered_kv.execute("GET", f"alice:{i}") is None
+
+    def test_erasure_marker_beats_lost_keystore(self):
+        # Even if the keystore state were restored from a backup (the
+        # paper's resurrection-by-restore concern), the cold device's
+        # own fsynced subject marker keeps the archive void.
+        store, engine = self._store()
+        right_to_erasure(store, "alice")
+        fresh_keystore_view = type(store.keystore)()  # "restored" keystore
+        engine.cold.device.crash(power_loss=True)
+        recovered = ColdSegmentStore(device=engine.cold.device,
+                                     keystore=fresh_keystore_view)
+        assert "alice" in recovered.erased_subjects
+        assert recovered.keys_of_subject("alice") == []
+        assert recovered.lookup(b"alice:0") is None

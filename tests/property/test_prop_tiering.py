@@ -1,0 +1,198 @@
+"""Property-based tests over the tiered keyspace: hot-only equivalence
+under random op/demote interleavings, bloom soundness, measured FP rate,
+and no-resurrection of erased subjects across crashes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import SimClock
+from repro.crypto.keystore import KeyStore
+from repro.device.append_log import AppendLog
+from repro.kvstore.store import KeyValueStore, StoreConfig
+from repro.tiering import TieredEngine, TieringConfig
+from repro.tiering.bloom import BloomFilter
+from repro.tiering.segment import ColdInput, ColdSegmentStore
+
+KEYS = [b"k0", b"k1", b"k2", b"k3", b"k4"]
+VALUES = [b"v0", b"v1", b"v2"]
+
+tier_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("SET"), st.sampled_from(KEYS),
+                  st.sampled_from(VALUES)),
+        st.tuples(st.just("GET"), st.sampled_from(KEYS)),
+        st.tuples(st.just("DEL"), st.sampled_from(KEYS)),
+        st.tuples(st.just("EXPIRE"), st.sampled_from(KEYS),
+                  st.integers(1, 50)),
+        st.tuples(st.just("advance"), st.integers(1, 30)),
+        st.tuples(st.just("demote"),),
+        st.tuples(st.just("tick"),),
+    ),
+    max_size=40)
+
+
+def _make_tiered(clock):
+    # appendfsync=always: the crash properties assert exact state
+    # preservation, which needs every hot command durable (everysec
+    # legitimately loses its fsync window).
+    inner = KeyValueStore(
+        StoreConfig(appendonly=True, appendfsync="always"),
+        clock=clock, aof_log=AppendLog(clock=clock))
+    return TieredEngine(inner, tiering=TieringConfig(
+        auto_demote=False, segment_max_records=3))
+
+
+def _drive(engine, ops, tiered):
+    replies = []
+    for op in ops:
+        if op[0] == "advance":
+            engine.clock.advance(op[1])
+        elif op[0] == "demote":
+            if tiered:
+                engine.demote_keys(engine.inner.live_keys(0))
+        elif op[0] == "tick":
+            engine.tick()
+        else:
+            replies.append(engine.execute(*op))
+    return replies
+
+
+@given(tier_ops)
+@settings(max_examples=50, deadline=None)
+def test_tiered_equals_hot_only_under_random_ops(ops):
+    """Any op sequence with demotions interleaved at arbitrary points
+    observes exactly what a hot-only engine observes."""
+    hot = KeyValueStore(StoreConfig(appendonly=True,
+                                    appendfsync="always"),
+                        clock=SimClock())
+    tiered = _make_tiered(SimClock())
+    hot_replies = _drive(hot, ops, tiered=False)
+    tiered_replies = _drive(tiered, ops, tiered=True)
+    assert tiered_replies == hot_replies
+    hot_final = sorted((r.key, r.value, r.expire_at)
+                       for r in hot.scan_records())
+    tiered_final = sorted((r.key, r.value, r.expire_at)
+                          for r in tiered.scan_records())
+    assert tiered_final == hot_final
+    assert tiered.execute("DBSIZE") == hot.execute("DBSIZE")
+
+
+@given(tier_ops)
+@settings(max_examples=30, deadline=None)
+def test_crash_recovery_preserves_tiered_state(ops):
+    """AOF replay plus cold-device recovery reconstruct the pre-crash
+    keyspace: nothing hot is lost, nothing deleted resurrects."""
+    clock = SimClock()
+    engine = _make_tiered(clock)
+    _drive(engine, ops, tiered=True)
+    before = sorted((r.key, r.value) for r in engine.scan_records())
+    # Crash: rebuild a fresh hot engine from the AOF bytes and a fresh
+    # cold index from the cold device bytes.
+    engine.aof_log.crash(power_loss=True)
+    engine.cold.device.crash(power_loss=True)
+    recovered_inner = KeyValueStore(StoreConfig(appendonly=True),
+                                    clock=clock,
+                                    aof_log=AppendLog(clock=clock))
+    recovered = TieredEngine(recovered_inner,
+                             device=engine.cold.device,
+                             tiering=engine.tiering)
+    recovered.replay_aof(engine.aof_log.read_all())
+    after = sorted((r.key, r.value) for r in recovered.scan_records())
+    assert after == before
+
+
+@given(st.sets(st.binary(min_size=1, max_size=12), min_size=1,
+               max_size=40),
+       st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_sealed_keys_never_bloom_false_negative(keys, per_segment):
+    """A sealed, untombstoned key is always bloom-visible."""
+    store = ColdSegmentStore(device=AppendLog(clock=SimClock()))
+    ordered = sorted(keys)
+    for start in range(0, len(ordered), per_segment):
+        batch = ordered[start:start + per_segment]
+        store.seal([ColdInput(k, b"v", None, None) for k in batch],
+                   sealed_at=0.0)
+    for key in ordered:
+        assert store.may_contain(key)
+        assert store.lookup(key) is not None
+
+
+def test_bloom_fp_rate_stays_under_configured_bound():
+    """At full capacity the measured FP rate stays below the configured
+    bound (the sizing targets half the bound as headroom)."""
+    for fp_rate in (0.01, 0.05):
+        bloom = BloomFilter.for_capacity(2000, fp_rate)
+        bloom.update(b"member-%d" % i for i in range(2000))
+        trials = 50_000
+        hits = sum(1 for i in range(trials)
+                   if b"absent-%d" % i in bloom)
+        assert hits / trials < fp_rate
+
+
+erasure_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 5),
+                  st.sampled_from(["alice", "bob"])),
+        st.tuples(st.just("demote"),),
+        st.tuples(st.just("get"), st.integers(0, 5)),
+        st.tuples(st.just("crash"),),
+    ),
+    max_size=25)
+
+
+@given(erasure_ops)
+@settings(max_examples=30, deadline=None)
+def test_erased_subject_never_readable_from_any_tier(ops):
+    """After Art. 17 reaches the engine (hot DELs + cold subject marker
+    + keystore erasure), no interleaving of demotions, promotions, and
+    crashes makes any of the subject's values readable again."""
+    clock = SimClock()
+    keystore = KeyStore()
+    engine = _make_tiered(clock)
+    engine.attach_keystore(keystore)
+    owners = {}
+
+    def run(engine, op):
+        if op[0] == "put":
+            key, owner = f"r:{op[1]}", op[2]
+            engine.execute("SET", key, b"secret-" + owner.encode())
+            engine.annotate_metadata(key, owner, [])
+            owners[key.encode()] = owner
+        elif op[0] == "demote":
+            engine.demote_keys(engine.inner.live_keys(0))
+        elif op[0] == "get":
+            engine.execute("GET", f"r:{op[1]}")
+        elif op[0] == "crash":
+            engine.aof_log.crash(power_loss=True)
+            engine.cold.device.crash(power_loss=True)
+            inner = KeyValueStore(
+                StoreConfig(appendonly=True, appendfsync="always"),
+                clock=clock, aof_log=AppendLog(clock=clock))
+            replacement = TieredEngine(inner, device=engine.cold.device,
+                                       tiering=engine.tiering,
+                                       keystore=keystore)
+            replacement.replay_aof(engine.aof_log.read_all())
+            for key, owner in owners.items():
+                replacement.annotate_metadata(key.decode(), owner, [])
+            return replacement
+        return engine
+
+    for op in ops:
+        engine = run(engine, op)
+    # Erase alice: the GDPR facade's sequence, at engine level.
+    alice_keys = [k for k, o in owners.items() if o == "alice"]
+    for key in alice_keys:
+        engine.execute("DEL", key)
+    engine.erase_subject_cold("alice")
+    keystore.erase_key("alice")
+    # No interleaving of crash/demote/promote brings anything back.
+    for op in ops + [("crash",), ("demote",), ("crash",)]:
+        if op[0] == "put":
+            continue                      # no new writes post-erasure
+        engine = run(engine, op)
+    for key in alice_keys:
+        assert engine.execute("GET", key) is None, key
+        assert not engine.has_live_key(key)
+    assert engine.cold_keys_of_subject("alice") == []
+    assert all(b"secret-alice" != r.value for r in engine.scan_records())

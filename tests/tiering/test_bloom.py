@@ -1,0 +1,67 @@
+"""Unit tests for the cold-segment bloom filters."""
+
+import pytest
+
+from repro.tiering.bloom import BloomFilter
+
+
+def test_no_false_negatives():
+    bloom = BloomFilter.for_capacity(500, 0.01)
+    members = [f"user:{i}".encode() for i in range(500)]
+    bloom.update(members)
+    assert all(m in bloom for m in members)
+
+
+def test_measured_fp_rate_under_configured_bound():
+    fp_rate = 0.01
+    bloom = BloomFilter.for_capacity(1000, fp_rate)
+    bloom.update(f"member:{i}".encode() for i in range(1000))
+    trials = 20_000
+    false_positives = sum(
+        1 for i in range(trials) if f"absent:{i}".encode() in bloom)
+    assert false_positives / trials < fp_rate
+
+
+def test_serialization_round_trip():
+    bloom = BloomFilter.for_capacity(64, 0.02)
+    bloom.update(f"k{i}".encode() for i in range(64))
+    restored = BloomFilter.from_bytes(bloom.to_bytes())
+    assert restored.bit_count == bloom.bit_count
+    assert restored.hash_count == bloom.hash_count
+    assert restored.added == bloom.added
+    assert all(f"k{i}".encode() in restored for i in range(64))
+    assert restored.fill_ratio() == bloom.fill_ratio()
+
+
+def test_deterministic_across_instances():
+    # CI's byte-identical bench re-run needs hashing with no per-process
+    # randomness (unlike the builtin hash()).
+    a = BloomFilter.for_capacity(100, 0.01)
+    b = BloomFilter.for_capacity(100, 0.01)
+    for bloom in (a, b):
+        bloom.update(f"k{i}".encode() for i in range(100))
+    assert a.to_bytes() == b.to_bytes()
+
+
+def test_empty_filter_matches_nothing():
+    bloom = BloomFilter.for_capacity(16, 0.01)
+    assert b"anything" not in bloom
+    assert not bloom.may_contain(b"anything")
+    assert bloom.fill_ratio() == 0.0
+
+
+def test_from_bytes_rejects_garbage():
+    with pytest.raises(ValueError):
+        BloomFilter.from_bytes(b"\x00\x01")
+    good = BloomFilter.for_capacity(8, 0.1).to_bytes()
+    with pytest.raises(ValueError):
+        BloomFilter.from_bytes(good[:-1])
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BloomFilter(0, 3)
+    with pytest.raises(ValueError):
+        BloomFilter(64, 0)
+    with pytest.raises(ValueError):
+        BloomFilter.for_capacity(10, 1.5)

@@ -1,0 +1,163 @@
+"""Unit tests for the cold segment store: sealing, lookup, tombstone
+versioning, subject erasure, expiry, and device-level recovery."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.crypto.keystore import KeyStore
+from repro.device.append_log import AppendLog
+from repro.tiering.segment import ColdInput, ColdSegmentStore
+
+
+def make_store(keystore=None):
+    clock = SimClock()
+    device = AppendLog(clock=clock, name="cold.seg")
+    return ColdSegmentStore(device=device, keystore=keystore), device
+
+
+def inputs(*pairs, owner=None, expire_at=None):
+    return [ColdInput(k, v, expire_at, owner) for k, v in pairs]
+
+
+def test_seal_lookup_round_trip():
+    store, _ = make_store()
+    store.seal(inputs((b"a", b"1"), (b"b", b"2")), sealed_at=0.0)
+    entry = store.lookup(b"a")
+    assert entry is not None
+    assert store.open_value(entry) == b"1"
+    assert store.lookup(b"missing") is None
+    assert store.live_count() == 2
+
+
+def test_expire_and_owner_preserved():
+    store, _ = make_store()
+    store.seal([ColdInput(b"k", b"v", 42.0, "alice")], sealed_at=1.0)
+    entry = store.lookup(b"k")
+    assert entry.expire_at == 42.0
+    assert entry.owner == "alice"
+    assert not entry.encrypted          # no keystore attached
+    assert store.open_value(entry) == b"v"
+
+
+def test_newest_segment_wins():
+    store, _ = make_store()
+    store.seal(inputs((b"k", b"old")), sealed_at=0.0)
+    store.seal(inputs((b"k", b"new")), sealed_at=1.0)
+    assert store.open_value(store.lookup(b"k")) == b"new"
+
+
+def test_tombstone_versioning():
+    store, _ = make_store()
+    old_seq = store.seal(inputs((b"k", b"old")), sealed_at=0.0)
+    store.tombstone_key(b"k", up_to_seq=old_seq)
+    assert store.lookup(b"k") is None
+    # A re-demoted copy sealed after the tombstone must survive it.
+    store.seal(inputs((b"k", b"again")), sealed_at=1.0)
+    assert store.open_value(store.lookup(b"k")) == b"again"
+    # A full tombstone (no up_to_seq) kills everything sealed so far.
+    store.tombstone_key(b"k")
+    assert store.lookup(b"k") is None
+
+
+def test_subject_erasure_is_crypto_erasure():
+    keystore = KeyStore()
+    store, _ = make_store(keystore)
+    store.seal(inputs((b"a:1", b"secret"), owner="alice")
+               + inputs((b"b:1", b"fine"), owner="bob"), sealed_at=0.0)
+    assert store.lookup(b"a:1").encrypted
+    assert store.open_value(store.lookup(b"a:1")) == b"secret"
+    touched = store.erase_subject("alice")
+    assert touched == [0]
+    assert store.lookup(b"a:1") is None          # entry no longer live
+    assert store.keys_of_subject("alice") == []
+    assert store.open_value(store.lookup(b"b:1")) == b"fine"
+    # Erasure also voids the ciphertext itself once the key dies.
+    keystore.erase_key("alice")
+    assert "alice" in store.erased_subjects
+
+
+def test_keys_of_subject_uses_blooms():
+    store, _ = make_store(KeyStore())
+    store.seal(inputs((b"a:1", b"x"), (b"a:2", b"y"), owner="alice"),
+               sealed_at=0.0)
+    store.seal(inputs((b"b:1", b"z"), owner="bob"), sealed_at=1.0)
+    assert store.keys_of_subject("alice") == [b"a:1", b"a:2"]
+    assert store.segments_of_subject("bob") == [1]
+    assert store.keys_of_subject("nobody") == []
+
+
+def test_pop_expired_orders_and_filters():
+    store, _ = make_store()
+    store.seal([ColdInput(b"soon", b"1", 5.0, None),
+                ColdInput(b"later", b"2", 50.0, None),
+                ColdInput(b"never", b"3", None, None)], sealed_at=0.0)
+    due = store.pop_expired(now=10.0)
+    assert [e.key for e in due] == [b"soon"]
+    store.tombstone_key(b"soon")
+    assert store.pop_expired(now=100.0)[0].key == b"later"
+
+
+def test_recovery_from_device_bytes():
+    store, device = make_store(KeyStore())
+    store.seal(inputs((b"a", b"1"), owner="alice"), sealed_at=0.0)
+    store.seal(inputs((b"b", b"2"), (b"c", b"3")), sealed_at=1.0)
+    store.tombstone_key(b"b")
+    store.erase_subject("alice")
+    recovered = ColdSegmentStore(device=device, keystore=store.keystore)
+    assert recovered.recovered_segments == 2
+    assert recovered.lookup(b"a") is None        # subject erased
+    assert recovered.lookup(b"b") is None        # tombstoned
+    assert recovered.open_value(recovered.lookup(b"c")) == b"3"
+    assert "alice" in recovered.erased_subjects
+
+
+def test_recovery_drops_torn_tail():
+    store, device = make_store()
+    store.seal(inputs((b"a", b"1")), sealed_at=0.0)
+    store.seal(inputs((b"b", b"2")), sealed_at=1.0)
+    device.corrupt_tail(6)                       # bit-flip into the last frame
+    recovered = ColdSegmentStore(device=device)
+    assert recovered.torn_frames_dropped == 1
+    assert recovered.recovered_segments == 1
+    assert recovered.open_value(recovered.lookup(b"a")) == b"1"
+    assert recovered.lookup(b"b") is None
+
+
+def test_clear_keeps_erased_subjects():
+    store, device = make_store(KeyStore())
+    store.seal(inputs((b"a", b"1"), owner="alice"), sealed_at=0.0)
+    store.erase_subject("alice")
+    store.clear()
+    assert store.segment_count == 0
+    assert "alice" in store.erased_subjects
+    # ... and the marker survives recovery of the cleared device.
+    recovered = ColdSegmentStore(device=device)
+    assert recovered.segment_count == 0
+    assert "alice" in recovered.erased_subjects
+
+
+def test_checksummed_payload_detects_corruption():
+    store, _ = make_store()
+    seq = store.seal(inputs((b"a", b"1")), sealed_at=0.0)
+    info = store._segments[seq]
+    store._decode_cache.clear()
+    store._segments[seq] = info._replace(payload_crc=info.payload_crc ^ 1)
+    with pytest.raises(ValueError, match="checksum"):
+        store.lookup(b"a")
+
+
+def test_empty_seal_rejected():
+    store, _ = make_store()
+    with pytest.raises(ValueError):
+        store.seal([], sealed_at=0.0)
+
+
+def test_stats_counters():
+    store, _ = make_store()
+    store.seal(inputs((b"a", b"1"), (b"b", b"2")), sealed_at=0.0)
+    store.tombstone_key(b"a")
+    stats = store.stats()
+    assert stats["seals"] == 1
+    assert stats["sealed_entries"] == 2
+    assert stats["tombstones"] == 1
+    assert stats["segments"] == 1

@@ -50,6 +50,11 @@ REQUIRED_DOC_CONTENT = {
          "the sealed-block chain + write-behind indexing contract and "
          "the visibility-window trade-off the fast-GDPR mode is "
          "written against"),
+        ("## Tiered storage",
+         "the demote/promote indistinguishability contract, the "
+         "seal-before-remove crash contract, and the archive-reaching "
+         "crypto-erasure the tiering tests and bench are written "
+         "against"),
     ],
     "docs/benchmarks.md": [
         ("### Reading the `replication` output",
@@ -64,6 +69,12 @@ REQUIRED_DOC_CONTENT = {
         ("concurrency_hockey_stick.txt",
          "the committed latency-vs-offered-load artifact must stay "
          "documented and regenerable"),
+        ("### Reading the `tiering` output",
+         "the footprint/promote/erasure columns need a reading guide "
+         "or the tiered-storage claims are unverifiable"),
+        ("tiering.txt",
+         "the tiered-vs-hot-only artifact must stay documented and "
+         "regenerable"),
     ],
 }
 
