@@ -11,8 +11,13 @@ from conftest import OPERATIONS, RECORDS, write_result
 
 from repro.bench.scaling import (
     DEFAULT_HOCKEY_RATES,
+    autoscale_table,
     hockey_stick_table,
     latency_vs_load,
+    run_autoscale_demo,
+    run_workers,
+    workers_ceiling_summary,
+    workers_table,
 )
 
 
@@ -38,6 +43,46 @@ def test_hockey_stick_artifact(results_dir):
     # The monotone latency climb along the sweep (allowing ties).
     p99s = [row["p99_latency"] for row in rows]
     assert p99s == sorted(p99s)
+
+
+def test_workers_ceiling_artifact(results_dir):
+    """The workers-vs-ceiling table: the knee per worker count, plus the
+    autoscale demo that closes the loop on it.
+
+    The assertions pin the PR's headline: with 4 workers the knee sits
+    at >= 2x the single-loop saturation point (~40k -> >= 80k offered
+    ops/s before p99 crosses 1 ms), and worker count 1 keeps the legacy
+    single-loop ceiling.
+    """
+    sweeps = run_workers(record_count=max(50, RECORDS // 3),
+                         operation_count=max(200, OPERATIONS // 2))
+    phases = run_autoscale_demo()
+    text = "\n".join([
+        workers_table(sweeps), "",
+        workers_ceiling_summary(sweeps), "",
+        "autoscale demo (EWMA-triggered worker raise, then spill to a "
+        "spare shard):",
+        autoscale_table(phases),
+    ])
+    write_result(results_dir, "concurrency_workers.txt", text)
+
+    knees = {sweep.cores: sweep.knee for sweep in sweeps}
+    # Single loop saturates at the calibrated ~40k ceiling...
+    assert knees[1] == 40_000.0
+    # ...and 4 workers push the knee to at least double that.
+    assert knees[4] >= 80_000.0 >= 2 * knees[1]
+    # More cores never lower the ceiling.
+    ordered = [knees[cores] for cores in sorted(knees)]
+    assert ordered == sorted(ordered)
+    # The autoscale demo recovers: saturation phase blows past 1 ms p99,
+    # the ladder (worker raise + spill) lands, and the final phase at
+    # the same offered rate is back under the knee's ceiling.
+    hot = max(row.p99_latency for row in phases)
+    assert hot > 1e-3
+    assert phases[-1].p99_latency < 1e-3
+    assert any("worker-raise" in row.actions for row in phases)
+    assert any("scale-out" in row.actions for row in phases)
+    assert phases[-1].shards_serving == 2
 
 
 def test_default_rates_span_the_knee():

@@ -35,16 +35,21 @@ from .micro import (
 )
 from .reporting import render_table
 from .scaling import (
+    autoscale_table,
     concurrency_table,
     erasure_fanout,
     replicated_erasure_fanout,
     replication_table,
     resharding_table,
+    run_autoscale_demo,
     run_concurrency,
     run_replication,
     run_resharding_sweep,
     run_scaling,
+    run_workers,
     scaling_table,
+    workers_ceiling_summary,
+    workers_table,
 )
 from .table1 import build_comparison_text, headline_statistics
 from .tiering import footprint_reduction, run_tiering, tiering_table
@@ -184,6 +189,28 @@ def run_concurrency_cmd(args: argparse.Namespace) -> None:
           "backlog -- not throughput -- absorbs extra offered load.")
 
 
+def run_workers_cmd(args: argparse.Namespace) -> None:
+    _print_header("Workers -- multi-core shards: the hockey stick per "
+                  "worker count, plus the autoscale demo")
+    core_counts = ((1, 2, 4, 8) if args.full else (1, 2, 4)) \
+        if args.cores is None else (args.cores,)
+    sweeps = run_workers(core_counts=core_counts,
+                         adaptive_batch=args.adaptive_batch,
+                         record_count=min(args.records, 100),
+                         operation_count=min(args.ops, 400))
+    print(workers_table(sweeps))
+    print()
+    print(workers_ceiling_summary(sweeps))
+    print("\nSame open-loop YCSB-B stream, one curve per worker count; "
+          "slots partition\nacross cores, so the zipfian-hot core "
+          "saturates first and the knee scales\nsublinearly -- like a "
+          "real partitioned shard.")
+    print("\nautoscale demo -- the queueing-delay EWMA triggers a live "
+          "worker raise, then a\nspill of half the slots to a spare "
+          "shard, while the stream keeps arriving:")
+    print(autoscale_table(run_autoscale_demo()))
+
+
 def run_replication_cmd(args: argparse.Namespace) -> None:
     _print_header("Replication -- per-shard replica groups, erasure "
                   "horizon across every copy")
@@ -294,6 +321,7 @@ EXPERIMENTS = {
     "scaling": run_scaling_cmd,
     "resharding": run_resharding_cmd,
     "concurrency": run_concurrency_cmd,
+    "workers": run_workers_cmd,
     "replication": run_replication_cmd,
     "backends": run_backends_cmd,
     "tiering": run_tiering_cmd,
@@ -319,6 +347,12 @@ def main(argv=None) -> int:
     parser.add_argument("--clients", type=int, default=None,
                         help="pin the concurrency sweep to one client "
                              "count")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="pin the workers sweep to one worker count "
+                             "per shard")
+    parser.add_argument("--adaptive-batch", action="store_true",
+                        help="enable the per-worker adaptive batching "
+                             "controller in the workers sweep")
     parser.add_argument("--replicas", type=int, default=None,
                         help="pin the replication sweep to one replica "
                              "count per shard")

@@ -48,6 +48,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..cluster import (
+    Autoscaler,
+    AutoscaleConfig,
     ClusterClient,
     ShardedGDPRStore,
     SlotMap,
@@ -414,6 +416,9 @@ def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
                     shards: int = 1, clients: int = 8,
                     gdpr: bool = False, record_count: int = 100,
                     operation_count: int = 400,
+                    cores: Optional[int] = None,
+                    adaptive_batch: bool = False,
+                    dispatch_overhead: float = 0.0,
                     seed: int = 42) -> List[Dict[str, float]]:
     """The classic open-loop "hockey stick": end-to-end latency vs
     offered load.
@@ -425,12 +430,21 @@ def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
     continues and p99 latency bends sharply upward.  Offered load is
     independent of completions, so the curve shows the knee a
     closed-loop driver structurally cannot produce.
+
+    ``cores`` adds the multi-core axis: each shard dispatches to that
+    many simulated cores behind its event loop (``cores=None`` keeps
+    the single-loop legacy path byte-for-byte), ``adaptive_batch``
+    turns the per-worker batching controller on, and
+    ``dispatch_overhead`` charges a fixed cost per dispatch so batching
+    has something to amortize.
     """
     rows = []
     for rate in rates:
         cluster = build_cluster(shards, store_factory=_store_factory(gdpr),
                                 latency=RAW_ONE_WAY_LATENCY,
-                                event_driven=True)
+                                event_driven=True, workers=cores,
+                                adaptive_batch=adaptive_batch,
+                                dispatch_overhead=dispatch_overhead)
         spec = WORKLOAD_B.scaled(record_count=record_count,
                                  operation_count=operation_count)
         runner = OpenLoopRunner(cluster, spec, clients=clients,
@@ -457,6 +471,178 @@ def hockey_stick_table(rows: Sequence[Dict[str, float]]) -> str:
           round(row["p50_latency"] * 1e6, 1),
           round(row["p99_latency"] * 1e6, 1),
           int(row["max_backlog"])] for row in rows])
+
+
+DEFAULT_WORKER_RATES = (20_000.0, 40_000.0, 60_000.0, 80_000.0,
+                        120_000.0, 160_000.0)
+KNEE_P99_CEILING = 1e-3     # "saturated" = p99 latency past 1 ms
+
+
+@dataclass
+class WorkerSweep:
+    """The hockey stick for one worker count."""
+
+    cores: int
+    adaptive_batch: bool
+    rows: List[Dict[str, float]]
+
+    @property
+    def knee(self) -> float:
+        """Highest offered rate the shard absorbed with p99 latency
+        still under :data:`KNEE_P99_CEILING` (0.0 if none did)."""
+        good = [row["offered"] for row in self.rows
+                if row["p99_latency"] <= KNEE_P99_CEILING]
+        return max(good) if good else 0.0
+
+
+def run_workers(core_counts: Sequence[int] = (1, 2, 4),
+                rates: Sequence[float] = DEFAULT_WORKER_RATES,
+                clients: int = 32, adaptive_batch: bool = True,
+                dispatch_overhead: float = 0.0,
+                record_count: int = 100, operation_count: int = 400,
+                seed: int = 42) -> List[WorkerSweep]:
+    """Workers-vs-ceiling: rerun the hockey stick per worker count.
+
+    Same YCSB-B stream, same arrival rates, one curve per ``cores``
+    value; the artifact to read is where each curve's knee sits.  One
+    simulated core saturates at ~1/``BASE_COMMAND_CPU`` = 40k ops/s;
+    every added core raises the ceiling by the share of slots it owns
+    (zipfian-skewed, so the hottest core saturates first -- the knee
+    scales sublinearly, exactly like a real partitioned shard).
+    """
+    return [WorkerSweep(cores=cores, adaptive_batch=adaptive_batch,
+                        rows=latency_vs_load(
+                            rates=rates, clients=clients,
+                            record_count=record_count,
+                            operation_count=operation_count,
+                            cores=cores, adaptive_batch=adaptive_batch,
+                            dispatch_overhead=dispatch_overhead,
+                            seed=seed))
+            for cores in core_counts]
+
+
+def workers_table(sweeps: Sequence[WorkerSweep]) -> str:
+    """Render all per-core hockey sticks into one table."""
+    rows = []
+    for sweep in sweeps:
+        for row in sweep.rows:
+            rows.append([
+                sweep.cores, "on" if sweep.adaptive_batch else "off",
+                int(row["offered"]), round(row["completed_per_s"], 1),
+                round(row["p50_latency"] * 1e6, 1),
+                round(row["p99_latency"] * 1e6, 1),
+                int(row["max_backlog"]),
+            ])
+    return render_table(
+        ["cores", "batch", "offered/s", "ops/s", "p50 latency us",
+         "p99 latency us", "backlog"], rows)
+
+
+def workers_ceiling_summary(sweeps: Sequence[WorkerSweep]) -> str:
+    """The headline numbers: each worker count's knee, vs single-loop."""
+    base = next((sweep.knee for sweep in sweeps if sweep.cores == 1),
+                0.0)
+    lines = [f"saturation knee (highest offered rate with p99 <= "
+             f"{KNEE_P99_CEILING * 1e3:.1f} ms):"]
+    for sweep in sweeps:
+        scale = (f"{sweep.knee / base:.1f}x single-loop"
+                 if base > 0 else "-")
+        lines.append(f"  cores={sweep.cores}: "
+                     f"{int(sweep.knee):>7} ops/s  ({scale})")
+    return "\n".join(lines)
+
+
+@dataclass
+class AutoscalePhase:
+    """One constant-rate phase of the autoscale demo."""
+
+    phase: int
+    offered: float
+    completed_per_s: float
+    p99_latency: float       # end-to-end, seconds
+    queue_ewma: float        # hottest pool's queueing-delay EWMA at end
+    total_workers: int       # across all serving shards
+    shards_serving: int      # shards owning populated slots
+    actions: str             # autoscale actions taken during the phase
+
+
+def run_autoscale_demo(rates: Sequence[float] = (30_000.0, 90_000.0,
+                                                 90_000.0, 90_000.0,
+                                                 90_000.0, 90_000.0),
+                       ops_per_phase: int = 400, clients: int = 32,
+                       max_workers: int = 2, record_count: int = 100,
+                       seed: int = 42) -> List[AutoscalePhase]:
+    """Close the loop: the autoscaler reacts to the hockey stick live.
+
+    One serving shard (1 worker) plus one pre-built spare; an open-loop
+    YCSB-B stream ramps from comfortable to ~2.2x the single-core
+    ceiling and *stays there*.  The :class:`Autoscaler` daemon watches
+    the pools' queueing-delay EWMAs and climbs its ladder while the
+    runner keeps offering load: first a live ``add_worker()`` on the
+    hot shard, then -- still hot at ``max_workers`` -- one scale-out
+    that flips half the populated slots to the spare shard through
+    event-driven :class:`SlotMigrator` streams interleaved with the
+    workload.  The per-phase rows show p99 blowing past the knee and
+    then recovering as each rung lands.
+    """
+    cluster = build_cluster(2, slot_map=SlotMap.even(1),
+                            store_factory=_store_factory(False),
+                            latency=RAW_ONE_WAY_LATENCY,
+                            event_driven=True, workers=1)
+    keys = [build_key_name(number) for number in range(record_count)]
+
+    def spill(_scaler: Autoscaler, _target: int) -> str:
+        new_shard = cluster.slots.add_shard()
+        populated = sorted({slot_for_key(key) for key in keys
+                            if cluster.slots.shard_of_slot(
+                                slot_for_key(key)) == 0})
+        moving = populated[::2]      # every other slot: an even split
+        for slot in moving:
+            SlotMigrator(cluster, slot, new_shard).run_as_events(
+                cluster.clock, batch_size=8, interval=2e-4)
+        return f"spill {len(moving)} slots -> shard {new_shard}"
+
+    pools = [node.pool for node in cluster.nodes]
+    scaler = Autoscaler(
+        cluster.clock, pools,
+        AutoscaleConfig(interval=1e-3, high_delay=300e-6,
+                        max_workers=max_workers, cooldown=3e-3,
+                        max_scale_outs=1),
+        scale_out=spill)
+    spec = WORKLOAD_B.scaled(record_count=record_count,
+                             operation_count=ops_per_phase * len(rates))
+    runner = OpenLoopRunner(cluster, spec, clients=clients,
+                            arrival_rate=rates[0], seed=seed)
+    runner.preload()
+    scaler.start()
+    phases = []
+    for number, rate in enumerate(rates, start=1):
+        runner.set_arrival_rate(rate)
+        events_before = len(scaler.events)
+        report = runner.run(ops_per_phase)
+        taken = [event.action for event in scaler.events[events_before:]]
+        serving = {cluster.slots.shard_of_slot(slot_for_key(key))
+                   for key in keys}
+        phases.append(AutoscalePhase(
+            phase=number, offered=rate,
+            completed_per_s=report.throughput,
+            p99_latency=report.latency.percentile(99),
+            queue_ewma=max(pool.queueing_delay_ewma() for pool in pools),
+            total_workers=sum(pool.num_workers for pool in pools),
+            shards_serving=len(serving),
+            actions=",".join(taken) if taken else "-"))
+    scaler.stop()
+    return phases
+
+
+def autoscale_table(phases: Sequence[AutoscalePhase]) -> str:
+    return render_table(
+        ["phase", "offered/s", "ops/s", "p99 latency us", "ewma us",
+         "workers", "shards", "actions"],
+        [[row.phase, int(row.offered), round(row.completed_per_s, 1),
+          round(row.p99_latency * 1e6, 1),
+          round(row.queue_ewma * 1e6, 1), row.total_workers,
+          row.shards_serving, row.actions] for row in phases])
 
 
 @dataclass

@@ -7,9 +7,13 @@ N shards (:mod:`repro.cluster.slots`), a pipelining, redirect-following
 not just routing -- between shards behind MOVED/ASK redirects
 (:mod:`repro.cluster.migration`), a :class:`ShardedGDPRStore` that
 fans subject rights and crypto-erasure out across shards
-(:mod:`repro.cluster.sharded_store`), and **per-shard replication
+(:mod:`repro.cluster.sharded_store`), **per-shard replication
 groups** with a cluster-wide erasure horizon and replica-set handoff at
-slot migration (:mod:`repro.cluster.replication`).
+slot migration (:mod:`repro.cluster.replication`), **multi-core shard
+execution** -- K simulated cores per shard behind one event loop, with
+adaptive batching (:mod:`repro.cluster.workers`) -- and a
+**queueing-delay autoscaler** that raises worker counts and triggers
+live shard-adds under load (:mod:`repro.cluster.autoscale`).
 
 Layer-wide invariants (each module's docstring details its own):
 
@@ -41,6 +45,12 @@ from .client import (
     command_keys,
     parse_redirect,
 )
+from .autoscale import (
+    Autoscaler,
+    AutoscaleConfig,
+    AutoscaleEvent,
+    SignalProbe,
+)
 from .migration import GDPRSlotMigrator, MigrationReceipt, SlotMigrator
 from .replication import (
     ClusterReplication,
@@ -55,6 +65,7 @@ from .slots import (
     hash_tag,
     slot_for_key,
 )
+from .workers import WorkerPool, WorkerPoolConfig
 
 __all__ = [
     "NUM_SLOTS",
@@ -81,4 +92,10 @@ __all__ = [
     "queue_touches",
     "ShardedGDPRStore",
     "ShardedErasureReceipt",
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "AutoscaleEvent",
+    "SignalProbe",
 ]

@@ -1,0 +1,146 @@
+"""Queueing-delay autoscaler: close the loop the hockey-stick exposes.
+
+The hockey-stick artifact shows what happens when offered load crosses a
+shard's service capacity: queueing delay -- not service time -- explodes.
+:class:`Autoscaler` watches exactly that signal (each target's
+queueing-delay EWMA, e.g. :meth:`WorkerPool.queueing_delay_ewma
+<repro.cluster.workers.WorkerPool.queueing_delay_ewma>`) from a
+recurring **daemon** timer on the shared scheduler, so it runs *while an
+open-loop workload keeps offering load* and never keeps the simulation
+alive on its own.
+
+Escalation ladder, per target, rate-limited by a cooldown:
+
+1. the EWMA crosses :attr:`AutoscaleConfig.high_delay` and the target
+   has worker headroom -> **raise the worker count** (a live
+   ``add_worker()``, applied at the pool's next quiescent instant);
+2. the target is already at :attr:`AutoscaleConfig.max_workers` and is
+   still hot -> invoke the **scale-out hook** (shard-add + live
+   ``rebalance()`` under load -- see
+   :meth:`ShardedGDPRStore.attach_autoscaler
+   <repro.cluster.sharded_store.ShardedGDPRStore.attach_autoscaler>`),
+   at most :attr:`AutoscaleConfig.max_scale_outs` times.
+
+Every action is recorded as an :class:`AutoscaleEvent`, which is what
+the bench demo prints and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..common.clock import SimClock
+
+
+@dataclass
+class AutoscaleConfig:
+    """Knobs for :class:`Autoscaler`."""
+
+    interval: float = 0.005          # daemon check period (seconds)
+    high_delay: float = 300e-6       # EWMA threshold that means "hot"
+    max_workers: int = 4             # per-target worker ceiling
+    cooldown: float = 0.01           # per-target seconds between actions
+    max_scale_outs: int = 1          # shard-adds/rebalances allowed
+
+
+@dataclass
+class AutoscaleEvent:
+    """One autoscaling action, for demos and assertions."""
+
+    at: float
+    target: int
+    action: str                      # "worker-raise" or "scale-out"
+    signal: float                    # the EWMA that triggered it
+    detail: str = ""
+
+
+class SignalProbe:
+    """Adapt a bare EWMA callable into an autoscale target with no
+    worker pool: every threshold crossing escalates straight to the
+    scale-out hook.  This is how layers without per-core pools (the
+    GDPR sharded store) plug their own saturation signal in."""
+
+    def __init__(self, signal: Callable[[], float]) -> None:
+        self._signal = signal
+
+    def queueing_delay_ewma(self) -> float:
+        return self._signal()
+
+
+class Autoscaler:
+    """Watch per-target queueing-delay EWMAs; raise workers, then spill.
+
+    ``targets`` are duck-typed: anything with ``queueing_delay_ewma()``
+    qualifies; targets additionally exposing ``num_workers`` /
+    ``add_worker()`` (a :class:`~repro.cluster.workers.WorkerPool`) get
+    the worker-raise rung of the ladder.
+    """
+
+    def __init__(self, scheduler: SimClock, targets: Sequence,
+                 config: Optional[AutoscaleConfig] = None,
+                 scale_out: Optional[Callable[["Autoscaler", int],
+                                              str]] = None) -> None:
+        if not hasattr(scheduler, "schedule_after"):
+            raise ValueError(
+                "the autoscaler needs a scheduling clock (SimClock)")
+        self.scheduler = scheduler
+        self.targets = list(targets)
+        self.config = config or AutoscaleConfig()
+        self.scale_out = scale_out
+        self.events: List[AutoscaleEvent] = []
+        self.checks = 0
+        self._scale_outs = 0
+        self._last_action = [-float("inf")] * len(self.targets)
+        self._handle = None
+
+    # -- the daemon timer ---------------------------------------------------
+
+    def start(self) -> None:
+        if self._handle is not None and self._handle.active:
+            return
+
+        def fire() -> None:
+            self.check()
+            self._handle = self.scheduler.schedule_after(
+                self.config.interval, fire, label="autoscale", daemon=True)
+
+        self._handle = self.scheduler.schedule_after(
+            self.config.interval, fire, label="autoscale", daemon=True)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- one control decision ----------------------------------------------
+
+    def check(self) -> Optional[AutoscaleEvent]:
+        """Evaluate every target once; returns the action taken (at most
+        one per check, so consecutive raises are observable)."""
+        self.checks += 1
+        now = self.scheduler.now()
+        for index, target in enumerate(self.targets):
+            if now - self._last_action[index] < self.config.cooldown:
+                continue
+            signal = target.queueing_delay_ewma()
+            if signal <= self.config.high_delay:
+                continue
+            add_worker = getattr(target, "add_worker", None)
+            workers = getattr(target, "num_workers", 0)
+            if add_worker is not None and workers < self.config.max_workers:
+                heading_for = add_worker()
+                event = AutoscaleEvent(now, index, "worker-raise", signal,
+                                       detail=f"workers -> {heading_for}")
+            elif (self.scale_out is not None
+                  and self._scale_outs < self.config.max_scale_outs):
+                detail = self.scale_out(self, index)
+                self._scale_outs += 1
+                event = AutoscaleEvent(now, index, "scale-out", signal,
+                                       detail=detail or "")
+            else:
+                continue
+            self._last_action[index] = now
+            self.events.append(event)
+            return event
+        return None

@@ -315,6 +315,7 @@ class ClusterNode:
         self.clock = store.clock
         self.channel = channel
         self.scheduler = scheduler
+        self.pool = None            # WorkerPool when multi-core (see workers)
         client_end, server_end = channel.endpoints()
         if scheduler is not None:
             if not channel.event_driven:
@@ -823,7 +824,11 @@ def build_cluster(num_shards: int,
                   bandwidth_bps: float = RAW_BANDWIDTH_BPS,
                   latency: float = LAN_LATENCY,
                   slot_map: Optional[SlotMap] = None,
-                  event_driven: bool = False) -> ClusterClient:
+                  event_driven: bool = False,
+                  workers: Optional[int] = None,
+                  dispatch_overhead: float = 0.0,
+                  adaptive_batch: bool = False,
+                  max_batch: int = 32) -> ClusterClient:
     """Wire up a ready-to-use cluster.
 
     ``event_driven=True`` puts every shard behind an event-loop server on
@@ -832,6 +837,14 @@ def build_cluster(num_shards: int,
     parallelism falls out of event interleaving.  Each shard's store
     still runs on its own clock, but that clock is now only the shard's
     service-time meter.
+
+    ``workers=K`` (event mode only) gives every shard a
+    :class:`~repro.cluster.workers.WorkerPool` of K simulated cores over
+    a :class:`~repro.common.clock.ShardClock` meter; the pool hangs off
+    ``node.pool``.  ``workers=None`` (the default) keeps the classic
+    single-loop dispatch byte-for-byte.  ``dispatch_overhead`` /
+    ``adaptive_batch`` / ``max_batch`` parameterize the pool's batching
+    controller.
 
     Otherwise ``parallel=True`` (the default) gives each shard its own
     clock so batches cost max-over-shards time; ``parallel=False`` shares
@@ -842,6 +855,11 @@ def build_cluster(num_shards: int,
     if event_driven and not hasattr(master, "schedule_at"):
         raise ClusterError(
             "an event-driven cluster needs a scheduling clock (SimClock)")
+    if workers is not None:
+        if not event_driven:
+            raise ClusterError("worker pools need event_driven=True")
+        if workers < 1:
+            raise ClusterError("a shard needs at least one worker")
     if slot_map is None:
         slot_map = SlotMap.even(num_shards)
     if store_factory is None:
@@ -850,7 +868,11 @@ def build_cluster(num_shards: int,
     nodes = []
     for index in range(num_shards):
         if event_driven:
-            node_clock: Clock = SimClock(master.now())
+            if workers is not None:
+                from ..common.clock import ShardClock
+                node_clock: Clock = ShardClock(master.now(), workers=workers)
+            else:
+                node_clock = SimClock(master.now())
             channel = Channel(clock=master, bandwidth_bps=bandwidth_bps,
                               latency=latency, event_driven=True)
         else:
@@ -863,8 +885,17 @@ def build_cluster(num_shards: int,
             raise ClusterError(
                 "store_factory must build the store on the clock it is "
                 "given (shard time and channel time must agree)")
-        nodes.append(ClusterNode(index, store, channel,
-                                 slot_map=slot_map,
-                                 scheduler=master if event_driven
-                                 else None))
+        node = ClusterNode(index, store, channel,
+                           slot_map=slot_map,
+                           scheduler=master if event_driven else None)
+        if workers is not None:
+            from .workers import WorkerPool, WorkerPoolConfig
+            pool = WorkerPool(node_clock, WorkerPoolConfig(
+                workers=workers,
+                dispatch_overhead=dispatch_overhead,
+                adaptive_batch=adaptive_batch,
+                max_batch=max_batch))
+            node.server.attach_workers(pool)
+            node.pool = pool
+        nodes.append(node)
     return ClusterClient(nodes, slot_map=slot_map, clock=master)

@@ -469,6 +469,71 @@ class ShardedGDPRStore:
                 clock.run_next()
         return receipts
 
+    def add_shard(self) -> int:
+        """Bring one empty shard online (scale-out) and return its index.
+
+        The new shard owns no slots until a :meth:`rebalance` (or
+        explicit migrations) hands it some, so adding one is cheap and
+        safe under live traffic.  Built through the same factories as
+        the original shards, so configuration, engine choice, and
+        tiering carry over.  With replication attached the new shard
+        starts *unreplicated* -- its group must be added explicitly,
+        because replica counts and delays are a deployment decision.
+        """
+        index = self.slots.add_shard()
+        if index < len(self.shards):
+            # A pre-built spare (a store constructed with more shards
+            # than the slot map routes to) just comes into rotation.
+            return index
+        if index != len(self.shards):
+            raise ClusterError(
+                f"slot map grew to shard {index} but the store holds "
+                f"{len(self.shards)} shards; topologies diverged")
+        self.shards.append(
+            GDPRStore(kv=self._build_engine(index),
+                      config=self._config_factory(index),
+                      keystore=self.keystore))
+        return index
+
+    def attach_autoscaler(self, signals,
+                          config=None,
+                          scale_out=None,
+                          start: bool = True):
+        """Close the autoscaling loop over this store: watch per-shard
+        queueing-delay signals and, when a hot shard has no worker
+        headroom left, **add a shard and rebalance into it live**.
+
+        ``signals`` is one saturation source per watched shard: either
+        an object already exposing ``queueing_delay_ewma()`` (the RESP
+        layer's :class:`~repro.cluster.workers.WorkerPool` fronting the
+        same shard) or a bare callable returning the EWMA, which is
+        wrapped in a :class:`~repro.cluster.autoscale.SignalProbe`.
+
+        The default ``scale_out`` action is :meth:`add_shard` followed
+        by :meth:`rebalance(..., drive=False) <rebalance>`, so the slot
+        migrations run as interleaved events *while traffic -- subject
+        rights included -- keeps flowing*; erasure guarantees mid-scale-
+        out are exactly the live-migration guarantees the migrator
+        already enforces.  Returns the started
+        :class:`~repro.cluster.autoscale.Autoscaler`.
+        """
+        from .autoscale import Autoscaler, SignalProbe
+        if not hasattr(self.clock, "schedule_after"):
+            raise ClusterError(
+                "attach_autoscaler needs a scheduling clock (SimClock)")
+        targets = [signal if hasattr(signal, "queueing_delay_ewma")
+                   else SignalProbe(signal) for signal in signals]
+        if scale_out is None:
+            def scale_out(autoscaler, shard_index: int) -> str:
+                target = self.add_shard()
+                self.rebalance(target, drive=False)
+                return f"shard-add -> {target}"
+        scaler = Autoscaler(self.clock, targets, config=config,
+                            scale_out=scale_out)
+        if start:
+            scaler.start()
+        return scaler
+
     # -- maintenance & evidence --------------------------------------------
 
     def tick(self) -> None:

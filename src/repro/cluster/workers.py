@@ -1,0 +1,457 @@
+"""Multi-core shard execution: a worker pool over the event loop.
+
+The paper's testbed was quad-core, but every shard here used to be one
+event loop == one core, and the hockey-stick artifact shows p99 exploding
+past ~40k offered ops/s.  :class:`WorkerPool` multiplexes K simulated
+cores (:class:`~repro.common.clock.WorkerClock` children of one
+:class:`~repro.common.clock.ShardClock`) over the *same*
+:class:`~repro.common.clock.SimClock` scheduler, so determinism is
+untouched -- there are still no threads, only more service meters.
+
+Dispatch rules (single-writer semantics by construction):
+
+* **keyspace partition** -- a command's keys hash to slots
+  (:func:`~repro.cluster.slots.slot_for_key`), and slot ``s`` belongs to
+  worker ``s % K``.  Every command touching a key is executed by that
+  key's worker, so per-key operations stay serialized on one core and
+  two identical runs pick identical workers;
+* **per-connection FIFO** -- only the *head* of a connection's queue is
+  dispatchable (head-of-line blocking, as on a real connection), so
+  RESP replies depart in request order;
+* **control commands** (PING, CONFIG, ASKING, ...) ride worker 0;
+* **barrier commands** -- anything that reads or mutates the whole
+  keyspace (FLUSHALL, DBSIZE, KEYS, SAVE/BGSAVE/BGREWRITEAOF, SCAN,
+  RANDOMKEY, cross-worker multi-key commands, and -- via the shard
+  clock's stop-the-world ``advance`` -- the GDPR Art. 15/17/20/21
+  fan-out and cron fsync) waits until every worker is free and then
+  occupies *all* of them for its duration.
+
+**Adaptive batching**: each dispatch lets a worker drain up to B queued
+commands routed to it (round-robin across connections, so fairness is
+preserved).  B doubles when the worker fills its batch (backlog) and
+decays when the head-of-queue delay is below
+:attr:`WorkerPoolConfig.batch_low_delay`, amortizing the per-dispatch
+overhead exactly where the hockey-stick bends.
+
+With ``workers=1``, batch 1 and zero dispatch overhead, the pool
+reproduces the classic one-command-per-tick loop *exactly*: a command
+starts at ``max(arrival wake-up, previous finish)``, costs the same, and
+its reply flushes at the same instant -- the regression tests pin this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..common.clock import ShardClock, SimClock, WorkerClock
+from ..common.histogram import LatencyHistogram
+from .client import (
+    BROADCAST_COMMANDS,
+    UNROUTABLE_COMMANDS,
+    command_keys,
+)
+from .slots import slot_for_key
+
+# Keyless commands that scan or rewrite the whole keyspace: these cannot
+# ride a single core.  (The rest of KEYLESS_COMMANDS -- PING, CONFIG,
+# INFO, ... -- are control-plane and ride worker 0.)
+GLOBAL_COMMANDS = frozenset(
+    BROADCAST_COMMANDS | UNROUTABLE_COMMANDS
+    | {b"BGREWRITEAOF", b"BGSAVE", b"SAVE"})
+
+# Route classification sentinels (slots are plain ints, multi-slot
+# commands carry their slot tuple so re-routing survives worker raises).
+ROUTE_CONTROL = "control"
+ROUTE_BARRIER = "barrier"
+BARRIER = -1
+
+
+def classify(request: Any):
+    """Map a parsed request to a routing token: a slot (int), a tuple of
+    slots (multi-key), :data:`ROUTE_CONTROL`, or :data:`ROUTE_BARRIER`.
+    Computed once at arrival; the worker index is derived at dispatch so
+    a live worker raise re-partitions the keyspace automatically."""
+    if (not isinstance(request, list) or not request
+            or not all(isinstance(a, bytes) for a in request)):
+        return ROUTE_CONTROL      # protocol errors are answered inline
+    name = request[0].upper()
+    if name in GLOBAL_COMMANDS:
+        return ROUTE_BARRIER
+    keys = command_keys(request)
+    if not keys:
+        return ROUTE_CONTROL
+    slots = {slot_for_key(key) for key in keys}
+    if len(slots) == 1:
+        return slots.pop()
+    return tuple(sorted(slots))
+
+
+def worker_for(route, num_workers: int) -> int:
+    """Resolve a routing token to a worker index (or :data:`BARRIER`)."""
+    if route == ROUTE_CONTROL:
+        return 0
+    if route == ROUTE_BARRIER:
+        return BARRIER
+    if isinstance(route, int):
+        return route % num_workers
+    workers = {slot % num_workers for slot in route}
+    if len(workers) == 1:
+        return workers.pop()
+    return BARRIER                # cross-worker multi-key command
+
+
+@dataclass
+class WorkerPoolConfig:
+    """Knobs for :class:`WorkerPool`.
+
+    ``dispatch_overhead`` is the fixed per-dispatch cost a worker pays
+    before executing its batch (scheduling/wakeup cost on a real core);
+    adaptive batching exists to amortize it.
+    """
+
+    workers: int = 1
+    dispatch_overhead: float = 0.0
+    adaptive_batch: bool = False
+    min_batch: int = 1
+    max_batch: int = 32
+    batch_low_delay: float = 50e-6   # head delay below which B decays
+    ewma_alpha: float = 0.05         # queueing-delay EWMA smoothing
+
+
+class _WorkerState:
+    """Per-core bookkeeping: the child clock, the adaptive batch size,
+    and per-worker latency attribution histograms."""
+
+    __slots__ = ("clock", "batch", "commands", "dispatches",
+                 "queue_delay", "service_time")
+
+    def __init__(self, clock: WorkerClock, config: WorkerPoolConfig) -> None:
+        self.clock = clock
+        self.batch = config.min_batch
+        self.commands = 0
+        self.dispatches = 0
+        self.queue_delay = LatencyHistogram()
+        self.service_time = LatencyHistogram()
+
+
+class _ConnState:
+    """Per-connection intake bookkeeping, parallel to ``conn.pending``:
+    one ``(arrival time, route)`` entry per queued request, plus the
+    count of dispatched-but-unflushed commands (replies flush only when
+    it returns to zero, preserving RESP reply order)."""
+
+    __slots__ = ("intake", "outstanding")
+
+    def __init__(self) -> None:
+        self.intake: Deque[Tuple[float, Any]] = deque()
+        self.outstanding = 0
+
+
+class WorkerPool:
+    """K simulated cores executing one shard's commands deterministically.
+
+    Attach with :meth:`EventLoopMixin.attach_workers
+    <repro.kvstore.server.EventLoopMixin.attach_workers>`; the server's
+    store must already be metered by this pool's :class:`ShardClock`.
+    """
+
+    def __init__(self, shard_clock: ShardClock,
+                 config: Optional[WorkerPoolConfig] = None) -> None:
+        self.config = config or WorkerPoolConfig()
+        if self.config.min_batch < 1 or self.config.max_batch < \
+                self.config.min_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        self.shard_clock = shard_clock
+        self.workers: List[_WorkerState] = [
+            _WorkerState(clock, self.config) for clock in shard_clock.workers]
+        self.server = None
+        self.scheduler: Optional[SimClock] = None
+        self._states: Dict[int, _ConnState] = {}   # id(conn) -> state
+        self._tick_handle = None
+        self._rr_cursor = 0
+        self._resize_pending = 0
+        self._ewma: Optional[float] = None
+        self.barrier_commands = 0
+        self.resizes: List[Tuple[float, int]] = []  # (time, new count)
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, server) -> None:
+        if self.server is not None:
+            raise RuntimeError("worker pool already bound to a server")
+        if server.store.clock is not self.shard_clock:
+            raise ValueError(
+                "the server's store must be metered by this pool's "
+                "ShardClock (otherwise service charges land on the "
+                "wrong core)")
+        self.server = server
+        self.scheduler = server.scheduler
+        now = self.scheduler.now()
+        for conn in server.connections:
+            state = self._state(conn)
+            # Requests parsed before the pool attached: treat as arriving
+            # now, routed normally.
+            while len(state.intake) < len(conn.pending):
+                request = conn.pending[len(state.intake)]
+                state.intake.append((now, classify(request)))
+
+    def _state(self, conn) -> _ConnState:
+        state = self._states.get(id(conn))
+        if state is None:
+            state = self._states[id(conn)] = _ConnState()
+        return state
+
+    # -- intake (called by the server) --------------------------------------
+
+    def note_arrivals(self, conn, count: int) -> None:
+        """``count`` new requests were just parsed onto ``conn.pending``:
+        timestamp them and classify their routes once."""
+        now = self.scheduler.now()
+        state = self._state(conn)
+        start = len(conn.pending) - count
+        for index in range(start, len(conn.pending)):
+            state.intake.append((now, classify(conn.pending[index])))
+
+    # -- scheduling ---------------------------------------------------------
+
+    def wake(self) -> None:
+        self._wake_at(self.scheduler.now())
+
+    def _wake_at(self, when: float) -> None:
+        handle = self._tick_handle
+        if handle is not None and handle.active:
+            if handle.when <= when:
+                return
+            handle.cancel()
+        self._tick_handle = self.scheduler.schedule_at(
+            when, self._tick, label="worker-tick")
+
+    def _tick(self) -> None:
+        self._tick_handle = None
+        self._pump()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Dispatch every eligible head-of-queue command to a free worker
+        (round-robin over connections), then schedule the next tick at
+        the earliest instant a blocked head could run."""
+        now = self.scheduler.now()
+        if self._resize_pending and not self._apply_resize(now):
+            return                      # re-wakes itself at quiescence
+        progress = True
+        while progress:
+            progress = False
+            conns = self.server.connections
+            for offset in range(len(conns)):
+                index = (self._rr_cursor + offset) % len(conns)
+                conn = conns[index]
+                if not conn.pending:
+                    continue
+                state = self._state(conn)
+                _, route = state.intake[0]
+                target = worker_for(route, len(self.workers))
+                if target == BARRIER:
+                    if any(w.clock.now() > now for w in self.workers):
+                        continue
+                    self._rr_cursor = (index + 1) % len(conns)
+                    self._dispatch_barrier(conn, state, now)
+                    progress = True
+                    break
+                worker = self.workers[target]
+                if worker.clock.now() > now:
+                    continue            # that core is mid-service
+                self._rr_cursor = (index + 1) % len(conns)
+                self._dispatch(worker, target, index, now)
+                progress = True
+                break
+        self._schedule_followup(now)
+
+    def _dispatch(self, worker: _WorkerState, target: int,
+                  start_index: int, now: float) -> None:
+        """Drain up to B head-of-queue commands routed to ``worker``,
+        gathered round-robin across connections starting at the chosen
+        one, and execute them back-to-back on its core."""
+        limit = worker.batch if self.config.adaptive_batch \
+            else self.config.min_batch
+        conns = self.server.connections
+        batch: List[Tuple[Any, Any, float]] = []   # (conn, request, arrival)
+        while len(batch) < limit:
+            took = False
+            for offset in range(len(conns)):
+                conn = conns[(start_index + offset) % len(conns)]
+                if not conn.pending:
+                    continue
+                state = self._state(conn)
+                if worker_for(state.intake[0][1], len(self.workers)) \
+                        != target:
+                    continue
+                arrival, _ = state.intake.popleft()
+                batch.append((conn, conn.pending.popleft(), arrival))
+                state.outstanding += 1
+                took = True
+                if len(batch) == limit:
+                    break
+            if not took:
+                break
+        self._tune_batch(worker, batch, limit, now)
+        worker.clock.idle_until(now)
+        if self.config.dispatch_overhead:
+            worker.clock.advance(self.config.dispatch_overhead)
+        for conn, request, arrival in batch:
+            self._note_delay(worker, now - arrival)
+            began = worker.clock.now()
+            self.shard_clock.activate(worker.clock)
+            try:
+                self.server._serve(conn, request)
+            finally:
+                self.shard_clock.release()
+            worker.service_time.record(worker.clock.now() - began)
+            worker.commands += 1
+            self.server.loop_iterations += 1
+        worker.dispatches += 1
+        self.scheduler.schedule_at(
+            worker.clock.now(), lambda batch=batch: self._complete(batch),
+            label="worker-reply")
+
+    def _dispatch_barrier(self, conn, state: _ConnState, now: float) -> None:
+        """Run a whole-keyspace command: every core stops, the command's
+        cost is charged to all of them, replies depart at the frontier."""
+        arrival, _ = state.intake.popleft()
+        request = conn.pending.popleft()
+        state.outstanding += 1
+        for worker in self.workers:
+            worker.clock.idle_until(now)
+        self._note_delay(self.workers[0], now - arrival)
+        began = now
+        # No active worker: the shard clock charges all cores.
+        self.server._serve(conn, request)
+        finish = self.shard_clock.now()
+        self.workers[0].service_time.record(finish - began)
+        self.workers[0].commands += 1
+        self.barrier_commands += 1
+        self.server.loop_iterations += 1
+        self.scheduler.schedule_at(
+            finish, lambda: self._complete([(conn, request, arrival)]),
+            label="worker-reply")
+
+    def _tune_batch(self, worker: _WorkerState, batch, limit: int,
+                    now: float) -> None:
+        if not self.config.adaptive_batch or not batch:
+            return
+        if len(batch) == limit:
+            # Backlog: the worker filled its budget; give it more.
+            worker.batch = min(worker.batch * 2, self.config.max_batch)
+        elif now - batch[0][2] < self.config.batch_low_delay:
+            # Queueing delay is low; shed batch budget one step at a
+            # time so a burst does not leave B pinned high forever.
+            worker.batch = max(worker.batch - 1, self.config.min_batch)
+
+    def _note_delay(self, worker: _WorkerState, delay: float) -> None:
+        worker.queue_delay.record(delay)
+        alpha = self.config.ewma_alpha
+        self._ewma = delay if self._ewma is None \
+            else alpha * delay + (1.0 - alpha) * self._ewma
+
+    def _complete(self, batch) -> None:
+        """A batch's service time elapsed: its replies (buffered in
+        request order) may now leave the NIC.  A connection flushes only
+        once nothing it sent is still in service."""
+        for conn, _, _ in batch:
+            self._state(conn).outstanding -= 1
+        for conn in self.server.connections:
+            if self._state(conn).outstanding:
+                continue
+            flush = getattr(conn.transport, "flush", None)
+            if flush is not None:
+                flush()
+        if any(conn.pending for conn in self.server.connections):
+            self.wake()
+
+    def _schedule_followup(self, now: float) -> None:
+        """Blocked heads remain: tick again at the earliest instant one
+        of them could dispatch (its worker's -- or, for a barrier, the
+        slowest worker's -- free time)."""
+        earliest: Optional[float] = None
+        for conn in self.server.connections:
+            if not conn.pending:
+                continue
+            _, route = self._state(conn).intake[0]
+            target = worker_for(route, len(self.workers))
+            if target == BARRIER:
+                when = max(w.clock.now() for w in self.workers)
+            else:
+                when = self.workers[target].clock.now()
+            when = max(when, now)
+            if earliest is None or when < earliest:
+                earliest = when
+        if earliest is not None:
+            self._wake_at(earliest)
+
+    # -- live scale-up ------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def add_worker(self) -> int:
+        """Request one more core.  The raise applies at the next instant
+        no command is mid-service (quiescence), because re-partitioning
+        the keyspace under a running command would break single-writer
+        semantics; returns the worker count the pool is heading for."""
+        self._resize_pending += 1
+        if self.scheduler is not None:
+            self.wake()
+        return len(self.workers) + self._resize_pending
+
+    def _apply_resize(self, now: float) -> bool:
+        busy = [w.clock.now() for w in self.workers if w.clock.now() > now]
+        if busy:
+            self._wake_at(max(busy))
+            return False
+        for _ in range(self._resize_pending):
+            clock = self.shard_clock.add_worker(now)
+            self.workers.append(_WorkerState(clock, self.config))
+        self._resize_pending = 0
+        self.resizes.append((now, len(self.workers)))
+        return True
+
+    # -- attribution --------------------------------------------------------
+
+    def queueing_delay_ewma(self) -> float:
+        """The per-shard queueing-delay signal the autoscaler watches:
+        an EWMA of (dispatch time - arrival time) across all commands."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    def commands_served(self) -> int:
+        return sum(worker.commands for worker in self.workers)
+
+    def merged_queue_delay(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for worker in self.workers:
+            merged.merge(worker.queue_delay)
+        return merged
+
+    def merged_service_time(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for worker in self.workers:
+            merged.merge(worker.service_time)
+        return merged
+
+    def worker_rows(self) -> List[Dict[str, float]]:
+        """Per-core attribution: commands, dispatches, busy seconds, and
+        mean queueing delay -- the imbalance a hot key causes under the
+        slot % K partition is visible here."""
+        rows = []
+        for worker in self.workers:
+            delay = worker.queue_delay
+            rows.append({
+                "worker": worker.clock.index,
+                "commands": worker.commands,
+                "dispatches": worker.dispatches,
+                "busy_seconds": worker.clock.busy_seconds,
+                "mean_queue_delay": delay.mean() if delay.count else 0.0,
+            })
+        return rows

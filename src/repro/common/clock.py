@@ -250,6 +250,116 @@ class SimClock(Clock):
         return self.trace
 
 
+class WorkerClock(Clock):
+    """One simulated core of a multi-worker shard.
+
+    Child of a :class:`ShardClock`.  :meth:`advance` both moves the
+    worker's local time forward *and* accounts it as busy time, so
+    per-core utilisation falls straight out of the simulation.  Waiting
+    (being moved to a dispatch instant, or being held at a barrier) goes
+    through :meth:`idle_until` and is *not* billed as busy.
+    """
+
+    __slots__ = ("index", "_now", "busy_seconds")
+
+    def __init__(self, index: int, start: float) -> None:
+        self.index = index
+        self._now = float(start)
+        self.busy_seconds = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        self.busy_seconds += seconds
+
+    def idle_until(self, deadline: float) -> None:
+        """Move to ``deadline`` without billing busy time (waiting)."""
+        if deadline > self._now:
+            self._now = deadline
+
+    def sleep_until(self, deadline: float) -> None:
+        # Sleeping is waiting, not work: never bill it as busy time.
+        self.idle_until(deadline)
+
+
+class ShardClock(Clock):
+    """A shard's service meter split across K :class:`WorkerClock` cores.
+
+    The store underneath a multi-worker shard still sees a single
+    ``Clock``; which core a service charge lands on is decided by the
+    worker pool bracketing each command with :meth:`activate` /
+    :meth:`release`:
+
+    * while a worker is **active**, ``now()``/``advance()``/
+      ``sleep_until()`` are that worker's -- the command's CPU and I/O
+      cost is billed to exactly one core;
+    * with **no active worker**, ``advance()`` charges *all* cores
+      (stop-the-world).  That is deliberately the barrier semantics:
+      direct calls, cron ticks (fsync), and cross-worker commands such
+      as an Art. 17 fan-out occupy the whole shard, and ``now()``
+      reports the frontier (max across cores).
+
+    With ``workers=1`` the shard clock is behaviourally identical to the
+    single meter it replaces, which is what pins the worker-count-1
+    regression tests.
+    """
+
+    def __init__(self, start: float = 0.0, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("a shard needs at least one worker")
+        self.workers: List[WorkerClock] = [
+            WorkerClock(index, start) for index in range(workers)]
+        self._active: Optional[WorkerClock] = None
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def worker(self, index: int) -> WorkerClock:
+        return self.workers[index]
+
+    def add_worker(self, start: float) -> WorkerClock:
+        """Bring a new core online at ``start`` (a live worker raise)."""
+        worker = WorkerClock(len(self.workers), float(start))
+        self.workers.append(worker)
+        return worker
+
+    def activate(self, worker: WorkerClock) -> None:
+        if self._active is not None:
+            raise RuntimeError("shard clock already has an active worker")
+        self._active = worker
+
+    def release(self) -> None:
+        self._active = None
+
+    def now(self) -> float:
+        if self._active is not None:
+            return self._active.now()
+        return max(worker.now() for worker in self.workers)
+
+    def advance(self, seconds: float) -> None:
+        if self._active is not None:
+            self._active.advance(seconds)
+            return
+        for worker in self.workers:
+            worker.advance(seconds)
+
+    def sleep_until(self, deadline: float) -> None:
+        if self._active is not None:
+            self._active.sleep_until(deadline)
+            return
+        for worker in self.workers:
+            worker.idle_until(deadline)
+
+    def busy_seconds(self) -> float:
+        """Total busy time across all cores (for utilisation reports)."""
+        return sum(worker.busy_seconds for worker in self.workers)
+
+
 class WallClock(Clock):
     """Real time.  ``advance`` sleeps only if ``sleep=True``."""
 

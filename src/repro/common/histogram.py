@@ -45,11 +45,26 @@ class LatencyHistogram:
             self.record(latency)
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram (with identical geometry) into this one."""
-        if other._gamma != self._gamma or other._min != self._min:
-            raise ValueError("histogram geometries differ; cannot merge")
-        for index, count in other._buckets.items():
-            self._buckets[index] = self._buckets.get(index, 0) + count
+        """Fold another histogram into this one.
+
+        Identical geometries (the common case: per-worker histograms of
+        one shard) merge bucket-for-bucket, losing nothing.  Differing
+        geometries resample: each foreign bucket re-records its geometric
+        midpoint at its count, so the merged percentiles stay within the
+        coarser histogram's bucket width (plus this one's) of the truth
+        -- bounded, and immaterial next to the ~1% default.  Mean/min/max
+        stay exact either way (they merge from the tracked moments, not
+        buckets).
+        """
+        if other._gamma == self._gamma and other._min == self._min:
+            for index, count in other._buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + count
+        else:
+            for index, count in other._buckets.items():
+                value = max(other._bucket_value(index - 0.5), self._min)
+                mine = int(math.ceil(
+                    math.log(value / self._min) / self._log_gamma))
+                self._buckets[mine] = self._buckets.get(mine, 0) + count
         self._count += other._count
         self._sum += other._sum
         self._max = max(self._max, other._max)

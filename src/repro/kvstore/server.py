@@ -220,6 +220,19 @@ class EventLoopMixin:
         self._cron_handle = None
         self._rr_cursor = 0
         self.loop_iterations = 0
+        self._pool = None           # multi-core dispatch, when attached
+
+    # -- multi-core dispatch (repro.cluster.workers) -------------------------
+
+    def attach_workers(self, pool) -> None:
+        """Hand the dispatch path to a worker pool: commands still queue
+        per connection here, but the pool picks which simulated core runs
+        each one (and when replies flush).  The server keeps owning
+        command semantics (``_serve`` and friends).  With no pool
+        attached the classic one-command-per-tick loop below runs
+        unchanged."""
+        self._pool = pool
+        pool.bind(self)
 
     # -- connection intake -------------------------------------------------
 
@@ -234,13 +247,19 @@ class EventLoopMixin:
         """Bytes arrived on ``conn``: parse complete requests into its
         pending queue and make sure a loop tick is scheduled."""
         conn.decoder.feed(conn.transport.recv_available())
-        conn.pending.extend(conn.decoder.drain())
+        arrived = conn.decoder.drain()
+        conn.pending.extend(arrived)
+        if self._pool is not None and arrived:
+            self._pool.note_arrivals(conn, len(arrived))
         if conn.pending:
             self._wake()
 
     # -- the loop ----------------------------------------------------------
 
     def _wake(self) -> None:
+        if self._pool is not None:
+            self._pool.wake()
+            return
         if self._tick_handle is not None and self._tick_handle.active:
             return
         when = max(self.scheduler.now(), self._busy_until)

@@ -113,6 +113,17 @@ class OpenLoopReport:
     max_backlog: int = 0
     route_updates: int = 0      # MOVED lessons absorbed into per-client
                                 # routing caches (cache convergence)
+    # Per-worker latency attribution, filled only when shards run multi-
+    # core worker pools.  The histograms are the per-worker server-side
+    # distributions folded together with LatencyHistogram.merge, so the
+    # shard-level percentiles keep their fidelity; the rows expose the
+    # per-core imbalance a hot key causes under the slot % K partition.
+    # Pool stats are cumulative since the pool started serving (a fresh
+    # cluster per run keeps them per-run, which is what the bench does).
+    workers: int = 0
+    server_queue_delay: Optional[LatencyHistogram] = None
+    server_service_time: Optional[LatencyHistogram] = None
+    worker_rows: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -136,6 +147,20 @@ class OpenLoopReport:
             "route_updates": self.route_updates,
             "max_backlog": self.max_backlog,
         }
+
+    def summary_with_workers(self) -> Dict[str, object]:
+        """:meth:`summary` plus the per-worker attribution block (only
+        meaningful when the shards ran worker pools)."""
+        out = self.summary()
+        if self.workers:
+            out["workers"] = self.workers
+            if self.server_queue_delay is not None:
+                out["server_queue_delay"] = self.server_queue_delay.summary()
+            if self.server_service_time is not None:
+                out["server_service_time"] = \
+                    self.server_service_time.summary()
+            out["worker_rows"] = self.worker_rows
+        return out
 
 
 class _SimClient:
@@ -258,6 +283,15 @@ class OpenLoopRunner:
         self._to_admit = 0
         self._started_at = 0.0
 
+    def set_arrival_rate(self, rate: float) -> None:
+        """Change the offered rate between runs (a ramping workload for
+        the autoscaler demo).  The interarrival RNG stream continues, so
+        a multi-phase ramp is as deterministic as a single run."""
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.arrival_rate = rate
+        self._arrivals.rate = rate
+
     # -- workload plumbing -------------------------------------------------
 
     def preload(self) -> int:
@@ -327,7 +361,27 @@ class OpenLoopRunner:
         report.redirects_followed = self.redirects_followed \
             - redirects_before
         report.route_updates = self.route_updates - updates_before
+        self._attribute_workers(report)
         return report
+
+    def _attribute_workers(self, report: OpenLoopReport) -> None:
+        """Fold each shard's per-worker server-side histograms into the
+        report (multi-core shards only): merged dispatch-queue delay and
+        service-time distributions, plus per-core rows."""
+        pools = [node.pool for node in self.cluster.nodes
+                 if getattr(node, "pool", None) is not None]
+        if not pools:
+            return
+        report.workers = sum(pool.num_workers for pool in pools)
+        queue_delay = LatencyHistogram()
+        service_time = LatencyHistogram()
+        for shard, pool in enumerate(pools):
+            queue_delay.merge(pool.merged_queue_delay())
+            service_time.merge(pool.merged_service_time())
+            for row in pool.worker_rows():
+                report.worker_rows.append({"shard": shard, **row})
+        report.server_queue_delay = queue_delay
+        report.server_service_time = service_time
 
     def divergent_clients(self, slot: int) -> int:
         """How many simulated clients still cache a stale owner for

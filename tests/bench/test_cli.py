@@ -109,5 +109,5 @@ class TestCli:
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
                                     "micro", "ablations", "scaling",
                                     "resharding", "concurrency",
-                                    "replication", "backends",
-                                    "tiering"}
+                                    "workers", "replication",
+                                    "backends", "tiering"}

@@ -1,0 +1,373 @@
+"""Tests for multi-core shard execution (the worker pool).
+
+Covers the dispatch rules (keyspace partition, control, barrier), RESP
+reply ordering, the worker-count-1 exact-parity guarantee, the ceiling
+raise with more cores, adaptive batching, live worker raises, round-robin
+fairness under a flood, and seeded determinism.
+"""
+
+import pytest
+
+from repro.cluster import (
+    SlotMap,
+    WorkerPool,
+    WorkerPoolConfig,
+    build_cluster,
+    slot_for_key,
+)
+from repro.cluster.workers import (
+    BARRIER,
+    ROUTE_BARRIER,
+    ROUTE_CONTROL,
+    classify,
+    worker_for,
+)
+from repro.common.clock import ShardClock, SimClock
+from repro.common.errors import ClusterError
+from repro.kvstore import KeyValueStore, StoreConfig, connect_event
+from repro.ycsb import OpenLoopRunner, WORKLOAD_B
+
+CPU = 25e-6          # one core's ceiling = 1/CPU = 40 kops/s
+
+
+def cpu_factory(index, clock):
+    return KeyValueStore(StoreConfig(command_cpu_cost=CPU, seed=index),
+                         clock=clock)
+
+
+def make_pool_server(workers=2, cpu=CPU, connections=2, **pool_opts):
+    """A raw event-loop server with a worker pool attached."""
+    scheduler = SimClock()
+    shard_clock = ShardClock(0.0, workers=workers)
+    store = KeyValueStore(StoreConfig(command_cpu_cost=cpu),
+                          clock=shard_clock)
+    server, conns = connect_event(store, scheduler=scheduler,
+                                  connections=connections)
+    pool = WorkerPool(shard_clock,
+                      WorkerPoolConfig(workers=workers, **pool_opts))
+    server.attach_workers(pool)
+    return server, conns, pool, shard_clock
+
+
+def run_openloop(workers=None, clients=8, rate=60_000.0, ops=300,
+                 records=60, seed=42, **cluster_opts):
+    cluster = build_cluster(1, store_factory=cpu_factory,
+                            event_driven=True, latency=10e-6,
+                            workers=workers, **cluster_opts)
+    spec = WORKLOAD_B.scaled(record_count=records, operation_count=ops)
+    runner = OpenLoopRunner(cluster, spec, clients=clients,
+                            arrival_rate=rate, seed=seed)
+    runner.preload()
+    return cluster, runner.run(ops)
+
+
+class TestRouting:
+    def test_single_key_commands_route_by_slot(self):
+        route = classify([b"GET", b"user:1"])
+        assert route == slot_for_key(b"user:1")
+        assert worker_for(route, 4) == route % 4
+
+    def test_same_slot_multikey_rides_one_worker(self):
+        route = classify([b"MSET", b"{t}a", b"1", b"{t}b", b"2"])
+        assert isinstance(route, int)
+
+    def test_cross_worker_multikey_is_a_barrier(self):
+        keys = [b"a", b"b", b"c", b"d", b"e"]
+        route = classify([b"MSET"] + [b for k in keys for b in (k, k)])
+        assert isinstance(route, tuple)
+        # Slots differing mod K on at least one worker count.
+        assert any(worker_for(route, k) == BARRIER for k in (2, 3, 4))
+
+    def test_multikey_route_survives_worker_raises(self):
+        # The token is the slot set, so re-resolving against a different
+        # worker count is well defined either way.
+        route = classify([b"MSET", b"x", b"1", b"y", b"2"])
+        for count in (1, 2, 4, 8):
+            assert worker_for(route, count) in \
+                set(range(count)) | {BARRIER}
+
+    def test_control_and_global_commands(self):
+        assert classify([b"PING"]) == ROUTE_CONTROL
+        assert classify([b"CONFIG", b"GET", b"appendonly"]) \
+            == ROUTE_CONTROL
+        assert worker_for(ROUTE_CONTROL, 4) == 0
+        for name in (b"FLUSHALL", b"DBSIZE", b"KEYS", b"SCAN",
+                     b"RANDOMKEY", b"BGREWRITEAOF", b"SAVE"):
+            assert classify([name]) == ROUTE_BARRIER, name
+        assert worker_for(ROUTE_BARRIER, 4) == BARRIER
+
+    def test_malformed_requests_are_control(self):
+        assert classify("not-a-list") == ROUTE_CONTROL
+        assert classify([b"GET", 7]) == ROUTE_CONTROL
+        assert classify([]) == ROUTE_CONTROL
+
+    def test_worker_one_everything_lands_on_worker_zero(self):
+        for request in ([b"GET", b"k"], [b"PING"],
+                        [b"MSET", b"x", b"1", b"y", b"2"]):
+            route = classify(request)
+            if route != ROUTE_BARRIER:
+                assert worker_for(route, 1) == 0
+
+
+class TestReplyOrderAndBarriers:
+    def test_pipelined_replies_in_request_order_across_workers(self):
+        server, (conn, _), pool, _ = make_pool_server(workers=4)
+        for index in range(12):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) == ["OK"] * 12
+        conn.replies.clear()
+        for index in range(12):
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) \
+            == [str(i).encode() for i in range(12)]
+        assert pool.commands_served() == 24
+
+    def test_barrier_between_writes_keeps_order(self):
+        server, (conn, _), pool, _ = make_pool_server(workers=4)
+        conn.send_command("SET", "a", "1")
+        conn.send_command("SET", "b", "2")
+        conn.send_command("DBSIZE")
+        conn.send_command("SET", "c", "3")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) == ["OK", "OK", 2, "OK"]
+        assert pool.barrier_commands == 1
+
+    def test_barrier_charges_every_core(self):
+        server, (conn, _), pool, shard_clock = make_pool_server(workers=4)
+        for index in range(8):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        # Cores diverged while serving the partitioned writes...
+        frontiers = {w.now() for w in shard_clock.workers}
+        conn.send_command("FLUSHALL")
+        server.scheduler.run_until_idle()
+        # ...but the whole-keyspace command stopped the world: every
+        # core sits at the same (advanced) frontier afterwards.
+        aligned = {w.now() for w in shard_clock.workers}
+        assert len(aligned) == 1
+        assert aligned.pop() >= max(frontiers)
+
+    def test_flood_cannot_starve_neighbour(self):
+        """Round-robin holds when both connections target the *same*
+        worker: the single op completes long before the flood drains."""
+        server, (flood, single), pool, _ = make_pool_server(workers=4)
+        finishes = {}
+        flood.on_reply = lambda _: finishes.setdefault(
+            "flood", []).append(server.scheduler.now())
+        single.on_reply = lambda _: finishes.setdefault(
+            "single", []).append(server.scheduler.now())
+        for _ in range(8):
+            flood.send_command("SET", "a", "1")
+        single.send_command("SET", "a", "2")
+        server.scheduler.run_until_idle()
+        assert len(finishes["flood"]) == 8
+        assert finishes["single"][0] < finishes["flood"][2]
+
+    def test_flood_on_one_worker_does_not_block_other_workers(self):
+        """Commands for an idle core run concurrently with a flood
+        pinned to a busy core -- the point of the pool."""
+        server, (flood, other), pool, shard_clock = \
+            make_pool_server(workers=2)
+        hot = next(f"h{i}" for i in range(64)
+                   if slot_for_key(f"h{i}".encode()) % 2 == 0)
+        cold = next(f"c{i}" for i in range(64)
+                    if slot_for_key(f"c{i}".encode()) % 2 == 1)
+        for _ in range(10):
+            flood.send_command("SET", hot, "1")
+        for _ in range(10):
+            other.send_command("SET", cold, "2")
+        server.scheduler.run_until_idle()
+        # 20 commands at CPU each, but the two streams ran on two cores:
+        # the makespan is ~10 * CPU, not ~20 * CPU.
+        assert server.scheduler.now() < 15 * CPU
+        rows = {row["worker"]: row["commands"]
+                for row in pool.worker_rows()}
+        assert rows[0] == 10 and rows[1] == 10
+
+
+class TestSingleWorkerParity:
+    def test_worker_one_reproduces_legacy_loop_exactly(self):
+        _, legacy = run_openloop(workers=None)
+        _, pooled = run_openloop(workers=1)
+        assert legacy.summary() == pooled.summary()
+
+    def test_worker_one_matches_legacy_at_saturation(self):
+        _, legacy = run_openloop(workers=None, rate=80_000.0, ops=400)
+        _, pooled = run_openloop(workers=1, rate=80_000.0, ops=400)
+        assert legacy.summary() == pooled.summary()
+
+
+class TestCeiling:
+    def test_four_workers_at_least_double_the_ceiling(self):
+        _, one = run_openloop(workers=1, clients=16, rate=160_000.0,
+                              ops=400)
+        _, four = run_openloop(workers=4, clients=16, rate=160_000.0,
+                               ops=400)
+        assert one.throughput == pytest.approx(1.0 / CPU, rel=0.05)
+        assert four.throughput > 2.0 * one.throughput
+
+    def test_report_carries_worker_attribution(self):
+        cluster, report = run_openloop(workers=4, clients=16,
+                                       rate=120_000.0, ops=400)
+        assert report.workers == 4
+        assert len(report.worker_rows) == 4
+        served = sum(row["commands"] for row in report.worker_rows)
+        assert served >= report.completed
+        assert report.server_queue_delay is not None
+        assert report.server_queue_delay.count >= report.completed
+        summary = report.summary_with_workers()
+        assert summary["workers"] == 4
+        assert len(summary["worker_rows"]) == 4
+        assert "server_queue_delay" in summary
+        # The legacy summary() stays byte-stable for the artifacts.
+        assert "worker_rows" not in report.summary()
+
+
+class TestAdaptiveBatching:
+    def test_batch_grows_under_backlog(self):
+        server, (conn, _), pool, _ = make_pool_server(
+            workers=1, adaptive_batch=True, dispatch_overhead=5e-6)
+        for index in range(64):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        # Burst of 64 with a batch controller: far fewer dispatches
+        # than commands (the legacy loop would pay 64).
+        worker = pool.workers[0]
+        assert worker.commands == 64
+        assert worker.dispatches < 16
+        assert worker.batch > 1
+
+    def test_batch_shrinks_when_delay_is_low(self):
+        server, (conn, _), pool, _ = make_pool_server(
+            workers=1, adaptive_batch=True, dispatch_overhead=5e-6)
+        for index in range(64):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        grown = pool.workers[0].batch
+        assert grown > 1
+        # One-at-a-time traffic: head delay stays under batch_low_delay,
+        # so the budget decays back toward min_batch.
+        for index in range(grown + 8):
+            conn.send_command("GET", f"k{index}")
+            server.scheduler.run_until_idle()
+        assert pool.workers[0].batch < grown
+
+    def test_fixed_batch_without_flag(self):
+        server, (conn, _), pool, _ = make_pool_server(
+            workers=1, adaptive_batch=False)
+        for index in range(32):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        assert pool.workers[0].batch == 1
+        assert pool.workers[0].dispatches == 32
+
+    def test_batched_replies_flush_in_order(self):
+        server, (conn, _), pool, _ = make_pool_server(
+            workers=2, adaptive_batch=True, dispatch_overhead=5e-6)
+        for index in range(32):
+            conn.send_command("SET", f"k{index}", index)
+        for index in range(32):
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) \
+            == ["OK"] * 32 + [str(i).encode() for i in range(32)]
+
+
+class TestLiveWorkerRaise:
+    def test_add_worker_applies_at_quiescence(self):
+        server, (conn, _), pool, shard_clock = make_pool_server(workers=1)
+        conn.send_command("SET", "a", "1")
+        server.scheduler.run_until_idle()
+        heading = pool.add_worker()
+        assert heading == 2
+        server.scheduler.run_until_idle()
+        assert pool.num_workers == 2
+        assert shard_clock.num_workers == 2
+        assert pool.resizes and pool.resizes[-1][1] == 2
+        # The raised pool still serves correctly on both cores.
+        for index in range(8):
+            conn.send_command("SET", f"k{index}", index)
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        conn.replies.clear()
+        assert conn.call("GET", "k3") == b"3"
+        assert sum(row["commands"] > 0
+                   for row in pool.worker_rows()) == 2
+
+    def test_new_worker_starts_at_the_resize_instant(self):
+        server, (conn, _), pool, shard_clock = make_pool_server(workers=1)
+        for index in range(16):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        frontier = shard_clock.now()
+        pool.add_worker()
+        server.scheduler.run_until_idle()
+        assert shard_clock.workers[1].now() >= frontier
+        assert shard_clock.workers[1].busy_seconds == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_workers_identical_traces(self):
+        def trace():
+            cluster = build_cluster(1, store_factory=cpu_factory,
+                                    event_driven=True, latency=10e-6,
+                                    workers=2, adaptive_batch=True,
+                                    dispatch_overhead=2e-6)
+            out = cluster.clock.enable_trace()
+            spec = WORKLOAD_B.scaled(record_count=40,
+                                     operation_count=150)
+            runner = OpenLoopRunner(cluster, spec, clients=4,
+                                    arrival_rate=70_000.0, seed=11)
+            runner.preload()
+            runner.run(150)
+            return out
+
+        assert trace() == trace()
+
+    def test_same_seed_identical_reports(self):
+        _, one = run_openloop(workers=4, rate=100_000.0)
+        _, two = run_openloop(workers=4, rate=100_000.0)
+        assert one.summary_with_workers() == two.summary_with_workers()
+
+    def test_backlog_accounting_with_pool(self):
+        _, report = run_openloop(workers=2, clients=4, rate=100_000.0,
+                                 ops=300)
+        assert report.admitted == 300
+        assert report.completed == 300
+        assert report.failures == 0
+        assert report.max_backlog >= 0
+
+
+class TestBuildClusterWiring:
+    def test_workers_require_event_driven(self):
+        with pytest.raises(ClusterError):
+            build_cluster(1, workers=2)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ClusterError):
+            build_cluster(1, event_driven=True, workers=0)
+
+    def test_pool_attached_per_node(self):
+        cluster = build_cluster(2, store_factory=cpu_factory,
+                                event_driven=True, workers=3)
+        for node in cluster.nodes:
+            assert node.pool is not None
+            assert node.pool.num_workers == 3
+            assert isinstance(node.clock, ShardClock)
+
+    def test_legacy_build_has_no_pool(self):
+        cluster = build_cluster(1, store_factory=cpu_factory,
+                                event_driven=True)
+        assert cluster.nodes[0].pool is None
+
+    def test_pool_rejects_foreign_store_clock(self):
+        scheduler = SimClock()
+        store = KeyValueStore(StoreConfig(command_cpu_cost=CPU),
+                              clock=SimClock())
+        server, _ = connect_event(store, scheduler=scheduler,
+                                  connections=1)
+        pool = WorkerPool(ShardClock(0.0, workers=2))
+        with pytest.raises(ValueError, match="ShardClock"):
+            server.attach_workers(pool)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.common.clock import SimClock, Stopwatch, WallClock
+from repro.common.clock import (
+    ShardClock,
+    SimClock,
+    Stopwatch,
+    WallClock,
+    WorkerClock,
+)
 
 
 class TestSimClock:
@@ -207,6 +213,94 @@ class TestEventScheduler:
         clock.schedule_at(1.0, lambda: None)
         assert clock.pending_live_events() == 1
         assert clock.pending_timers() == 2
+
+
+class TestWorkerClock:
+    def test_advance_bills_busy_time(self):
+        worker = WorkerClock(0, 1.0)
+        worker.advance(0.5)
+        assert worker.now() == 1.5
+        assert worker.busy_seconds == 0.5
+
+    def test_idle_and_sleep_are_not_billed(self):
+        worker = WorkerClock(0, 0.0)
+        worker.idle_until(2.0)
+        worker.sleep_until(3.0)
+        assert worker.now() == 3.0
+        assert worker.busy_seconds == 0.0
+
+    def test_idle_never_moves_backwards(self):
+        worker = WorkerClock(0, 5.0)
+        worker.idle_until(1.0)
+        assert worker.now() == 5.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerClock(0, 0.0).advance(-1.0)
+
+
+class TestShardClock:
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            ShardClock(workers=0)
+
+    def test_active_worker_takes_the_charges(self):
+        shard = ShardClock(workers=3)
+        shard.activate(shard.worker(1))
+        shard.advance(0.2)
+        assert shard.now() == 0.2
+        shard.release()
+        assert [w.busy_seconds for w in shard.workers] == [0.0, 0.2, 0.0]
+
+    def test_no_active_worker_charges_all_cores(self):
+        """Stop-the-world: direct calls and barriers occupy the shard."""
+        shard = ShardClock(workers=3)
+        shard.advance(0.1)
+        assert all(w.busy_seconds == 0.1 for w in shard.workers)
+        assert shard.busy_seconds() == pytest.approx(0.3)
+
+    def test_now_reports_the_frontier(self):
+        shard = ShardClock(workers=2)
+        shard.activate(shard.worker(0))
+        shard.advance(1.0)
+        shard.release()
+        assert shard.now() == 1.0          # max across cores
+        shard.activate(shard.worker(1))
+        assert shard.now() == 0.0          # the active core's own time
+        shard.release()
+
+    def test_sleep_without_active_worker_idles_every_core(self):
+        shard = ShardClock(workers=2)
+        shard.sleep_until(4.0)
+        assert all(w.now() == 4.0 for w in shard.workers)
+        assert shard.busy_seconds() == 0.0
+
+    def test_double_activate_rejected(self):
+        shard = ShardClock(workers=2)
+        shard.activate(shard.worker(0))
+        with pytest.raises(RuntimeError):
+            shard.activate(shard.worker(1))
+
+    def test_add_worker_joins_at_given_start(self):
+        shard = ShardClock(workers=1)
+        shard.advance(2.0)
+        worker = shard.add_worker(2.0)
+        assert worker.index == 1
+        assert worker.now() == 2.0
+        assert worker.busy_seconds == 0.0
+        assert shard.num_workers == 2
+
+    def test_single_worker_matches_plain_meter(self):
+        """workers=1 is behaviourally identical to one SimClock meter --
+        the basis of the worker-count-1 regression guarantee."""
+        shard = ShardClock(workers=1)
+        plain = SimClock()
+        for step in (0.1, 0.25, 0.0):
+            shard.advance(step)
+            plain.advance(step)
+        shard.sleep_until(1.0)
+        plain.sleep_until(1.0)
+        assert shard.now() == plain.now()
 
 
 class TestWallClock:

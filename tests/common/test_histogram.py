@@ -98,8 +98,57 @@ class TestMerge:
         assert a.mean() == pytest.approx(2.0)
         assert a.max() == pytest.approx(3.0)
 
-    def test_merge_geometry_mismatch(self):
+    def test_merge_identical_geometry_is_lossless(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        whole = LatencyHistogram()
+        for i, latency in enumerate(x * 1e-4 for x in range(1, 201)):
+            (a if i % 2 else b).record(latency)
+            whole.record(latency)
+        a.merge(b)
+        for pct in (50, 90, 95, 99, 100):
+            assert a.percentile(pct) == whole.percentile(pct)
+        assert a.count == whole.count
+        assert a.mean() == pytest.approx(whole.mean())
+
+    def test_merge_cross_geometry_resamples(self):
         a = LatencyHistogram(relative_error=0.01)
         b = LatencyHistogram(relative_error=0.05)
-        with pytest.raises(ValueError):
-            a.merge(b)
+        a.record_many([1e-3] * 10)
+        b.record_many([1e-2] * 90)
+        a.merge(b)
+        assert a.count == 100
+        # p50/p99 sit in the resampled 10ms mass; error bounded by the
+        # sum of the two relative errors.
+        assert a.percentile(50) == pytest.approx(1e-2, rel=0.08)
+        assert a.percentile(99) == pytest.approx(1e-2, rel=0.08)
+        assert a.percentile(5) == pytest.approx(1e-3, rel=0.08)
+        assert a.mean() == pytest.approx((10 * 1e-3 + 90 * 1e-2) / 100)
+        assert a.max() == pytest.approx(1e-2)
+
+    def test_merge_uneven_bucket_counts(self):
+        # One worker saw a narrow unimodal load, the other a wide
+        # multimodal one: very different bucket populations must still
+        # fold into one faithful distribution.
+        narrow = LatencyHistogram()
+        wide = LatencyHistogram(relative_error=0.02)
+        narrow.record_many([100e-6] * 500)
+        wide.record_many([50e-6, 200e-6, 1e-3, 5e-3, 20e-3] * 20)
+        assert len(narrow._buckets) != len(wide._buckets)
+        narrow.merge(wide)
+        assert narrow.count == 600
+        assert narrow.percentile(50) == pytest.approx(100e-6, rel=0.05)
+        # The 20ms tail (20 of 600 samples => > p96) must survive.
+        assert narrow.percentile(99.9) == pytest.approx(20e-3, rel=0.05)
+        assert narrow.min() == pytest.approx(50e-6)
+        assert narrow.max() == pytest.approx(20e-3)
+
+    def test_merge_into_empty_and_from_empty(self):
+        empty = LatencyHistogram(relative_error=0.03)
+        full = LatencyHistogram()
+        full.record_many([1e-3, 2e-3, 4e-3])
+        empty.merge(full)
+        assert empty.count == 3
+        assert empty.percentile(100) == pytest.approx(4e-3, rel=0.05)
+        full.merge(LatencyHistogram(relative_error=0.03))
+        assert full.count == 3

@@ -55,6 +55,10 @@ REQUIRED_DOC_CONTENT = {
          "seal-before-remove crash contract, and the archive-reaching "
          "crypto-erasure the tiering tests and bench are written "
          "against"),
+        ("## Multi-core shards & autoscaling",
+         "the dispatch rules, stop-the-world barrier semantics for the "
+         "GDPR fan-out, the batching controller, and the autoscaler "
+         "ladder the workers/autoscale layers are written against"),
     ],
     "docs/benchmarks.md": [
         ("### Reading the `replication` output",
@@ -75,6 +79,12 @@ REQUIRED_DOC_CONTENT = {
         ("tiering.txt",
          "the tiered-vs-hot-only artifact must stay documented and "
          "regenerable"),
+        ("### Reading `concurrency_workers.txt`",
+         "the workers-vs-ceiling artifact needs a reading guide or the "
+         "multi-core knee claim is unverifiable"),
+        ("concurrency_workers.txt",
+         "the committed workers-vs-ceiling artifact must stay "
+         "documented and regenerable"),
     ],
 }
 
