@@ -52,6 +52,7 @@ from .scaling import (
     workers_table,
 )
 from .table1 import build_comparison_text, headline_statistics
+from .tenancy import run_tenancy, tenancy_table
 from .tiering import footprint_reduction, run_tiering, tiering_table
 
 
@@ -312,6 +313,23 @@ def run_tiering_cmd(args: argparse.Namespace) -> None:
           "indistinguishable.")
 
 
+def run_tenancy_cmd(args: argparse.Namespace) -> None:
+    _print_header("Tenancy -- noisy-neighbour quotas, tenant "
+                  "isolation, audit-chained metering")
+    result = run_tenancy(record_count=args.records,
+                         operation_count=args.ops)
+    print(tenancy_table(result))
+    print("\nThe quiet tenant's stream is identical in both phases; "
+          "the contended run\nadds a neighbour offering 4x its ops/s "
+          "quota.  The admission gate throttles\nthe excess with "
+          "QUOTAEXCEEDED before the engine sees it, so the noisy\n"
+          "tenant's admitted rate pins to its quota and the quiet "
+          "tenant's p99 barely\nmoves.  Every interval's per-tenant "
+          "usage delta is sealed into a block-mode\naudit chain and "
+          "re-verified after the run -- the throttle counts double as\n"
+          "tamper-evident billing records.")
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "figure1": run_fig1,
@@ -325,6 +343,7 @@ EXPERIMENTS = {
     "replication": run_replication_cmd,
     "backends": run_backends_cmd,
     "tiering": run_tiering_cmd,
+    "tenancy": run_tenancy_cmd,
 }
 
 

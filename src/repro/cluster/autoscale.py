@@ -21,6 +21,12 @@ Escalation ladder, per target, rate-limited by a cooldown:
    <repro.cluster.sharded_store.ShardedGDPRStore.attach_autoscaler>`),
    at most :attr:`AutoscaleConfig.max_scale_outs` times.
 
+And the reverse rung: when :attr:`AutoscaleConfig.low_delay` is set and
+a target's EWMA stays below it for a full cooldown window, one worker is
+shed (a live ``remove_worker()``, also applied at quiescence), never
+dropping below one core.  Scale-down is off by default
+(``low_delay=0``).
+
 Every action is recorded as an :class:`AutoscaleEvent`, which is what
 the bench demo prints and the tests assert on.
 """
@@ -39,6 +45,9 @@ class AutoscaleConfig:
 
     interval: float = 0.005          # daemon check period (seconds)
     high_delay: float = 300e-6       # EWMA threshold that means "hot"
+    low_delay: float = 0.0           # EWMA below this for a full
+    #                                  cooldown window -> shed a worker
+    #                                  (0 disables scale-down)
     max_workers: int = 4             # per-target worker ceiling
     cooldown: float = 0.01           # per-target seconds between actions
     max_scale_outs: int = 1          # shard-adds/rebalances allowed
@@ -50,7 +59,7 @@ class AutoscaleEvent:
 
     at: float
     target: int
-    action: str                      # "worker-raise" or "scale-out"
+    action: str                # "worker-raise", "worker-shed", "scale-out"
     signal: float                    # the EWMA that triggered it
     detail: str = ""
 
@@ -92,6 +101,7 @@ class Autoscaler:
         self.checks = 0
         self._scale_outs = 0
         self._last_action = [-float("inf")] * len(self.targets)
+        self._cold_since: List[Optional[float]] = [None] * len(self.targets)
         self._handle = None
 
     # -- the daemon timer ---------------------------------------------------
@@ -121,26 +131,63 @@ class Autoscaler:
         self.checks += 1
         now = self.scheduler.now()
         for index, target in enumerate(self.targets):
+            signal = target.queueing_delay_ewma()
+            self._track_cold_streak(index, signal, now)
             if now - self._last_action[index] < self.config.cooldown:
                 continue
-            signal = target.queueing_delay_ewma()
             if signal <= self.config.high_delay:
-                continue
-            add_worker = getattr(target, "add_worker", None)
-            workers = getattr(target, "num_workers", 0)
-            if add_worker is not None and workers < self.config.max_workers:
-                heading_for = add_worker()
-                event = AutoscaleEvent(now, index, "worker-raise", signal,
-                                       detail=f"workers -> {heading_for}")
-            elif (self.scale_out is not None
-                  and self._scale_outs < self.config.max_scale_outs):
-                detail = self.scale_out(self, index)
-                self._scale_outs += 1
-                event = AutoscaleEvent(now, index, "scale-out", signal,
-                                       detail=detail or "")
+                event = self._maybe_shed(index, target, signal, now)
+                if event is None:
+                    continue
             else:
-                continue
+                add_worker = getattr(target, "add_worker", None)
+                workers = getattr(target, "num_workers", 0)
+                if add_worker is not None \
+                        and workers < self.config.max_workers:
+                    heading_for = add_worker()
+                    event = AutoscaleEvent(
+                        now, index, "worker-raise", signal,
+                        detail=f"workers -> {heading_for}")
+                elif (self.scale_out is not None
+                      and self._scale_outs < self.config.max_scale_outs):
+                    detail = self.scale_out(self, index)
+                    self._scale_outs += 1
+                    event = AutoscaleEvent(now, index, "scale-out", signal,
+                                           detail=detail or "")
+                else:
+                    continue
             self._last_action[index] = now
             self.events.append(event)
             return event
         return None
+
+    def _track_cold_streak(self, index: int, signal: float,
+                           now: float) -> None:
+        """A cold streak is contiguous observation time with the EWMA
+        under ``low_delay``; any sample at or above it resets the
+        streak.  Tracked even while the cooldown gate is closed so the
+        streak measures real wall time, not actionable checks."""
+        if self.config.low_delay <= 0.0:
+            return
+        if signal < self.config.low_delay:
+            if self._cold_since[index] is None:
+                self._cold_since[index] = now
+        else:
+            self._cold_since[index] = None
+
+    def _maybe_shed(self, index: int, target, signal: float,
+                    now: float) -> Optional[AutoscaleEvent]:
+        """Scale-down rung: shed one worker once the target has stayed
+        cold for a full cooldown window (never below one worker)."""
+        if self.config.low_delay <= 0.0:
+            return None
+        cold_since = self._cold_since[index]
+        if cold_since is None or now - cold_since < self.config.cooldown:
+            return None
+        remove_worker = getattr(target, "remove_worker", None)
+        if remove_worker is None or getattr(target, "num_workers", 1) <= 1:
+            return None
+        heading_for = remove_worker()
+        self._cold_since[index] = None   # the next shed needs a new streak
+        return AutoscaleEvent(now, index, "worker-shed", signal,
+                              detail=f"workers -> {heading_for}")

@@ -71,7 +71,7 @@ from .slots import NUM_SLOTS, SlotMap, slot_for_key
 # Commands with no key argument route to shard 0 unless the caller pins one.
 KEYLESS_COMMANDS = frozenset((
     b"PING", b"INFO", b"CONFIG", b"SELECT", b"SLOWLOG",
-    b"BGREWRITEAOF", b"BGSAVE", b"SAVE", b"TIME",
+    b"BGREWRITEAOF", b"BGSAVE", b"SAVE", b"TIME", b"TENANT",
 ))
 
 # Keyspace-wide commands fan out to every shard, replies merged (flushes
@@ -123,6 +123,12 @@ def command_keys(argv: Sequence[bytes]) -> List[bytes]:
         return [argv[1]]
     first, step = positions
     return list(argv[first::step])
+
+
+def _tenant_prefix(tenant: str) -> bytes:
+    """The wire-level namespace prefix of ``tenant``'s keys."""
+    from ..tenancy.registry import TENANT_SEP
+    return (tenant + TENANT_SEP).encode("utf-8")
 
 
 def parse_redirect(reply: Any) -> Optional[RedirectError]:
@@ -185,10 +191,21 @@ class ClusterStoreServer(StoreServer):
         super().__init__(store)
         self.shard_index = shard_index
         self.slot_map = slot_map
+        # Multi-tenant admission (attach_tenant_gate): one shared
+        # TenantGate fronts the whole cluster; None = tenancy off.
+        self.tenant_gate = None
+
+    def attach_tenant_gate(self, gate) -> None:
+        """Install the cluster's shared
+        :class:`~repro.tenancy.gate.TenantGate` and subscribe it to this
+        shard's write/deletion streams (footprint accounting)."""
+        self.tenant_gate = gate
+        gate.watch_store(self.store)
 
     def accept(self, transport) -> ServerConnection:
         conn = super().accept(transport)
         conn.asking = False
+        conn.tenant = None
         return conn
 
     def _serve(self, conn: ServerConnection, request: Any) -> None:
@@ -200,6 +217,12 @@ class ClusterStoreServer(StoreServer):
         if name == b"ASKING":
             conn.asking = True
             conn.transport.send(b"+OK\r\n")
+            return
+        if name == b"TENANT":
+            # Connection-level stamp, like ASKING but sticky: every
+            # subsequent request on this connection executes inside the
+            # named tenant's namespace and against its quotas.
+            self._serve_tenant(conn, request)
             return
         asking, conn.asking = getattr(conn, "asking", False), False
         if self.slot_map is None:
@@ -213,12 +236,69 @@ class ClusterStoreServer(StoreServer):
         if redirect is not None:
             conn.transport.send(encode(redirect))
             return
+        tenant = getattr(conn, "tenant", None)
+        if tenant is not None and self.tenant_gate is not None:
+            try:
+                self.tenant_gate.admit(tenant, name, request,
+                                       command_keys(request),
+                                       self.store.clock.now())
+            except StoreError as exc:
+                # TENANTDENIED / QUOTAEXCEEDED reach the wire
+                # unprefixed; the request never touches the engine, so
+                # a throttled tenant costs only this check.
+                conn.transport.send(
+                    encode(resp_error_from_store_error(exc)))
+                return
         if name in (b"DBSIZE", b"KEYS"):
-            reply = self._without_importing(conn, name,
-                                            self._execute(conn, request))
+            if tenant is not None and name == b"DBSIZE":
+                reply: Any = self._tenant_dbsize(conn, tenant)
+            else:
+                reply = self._without_importing(
+                    conn, name, self._execute(conn, request))
+                if tenant is not None \
+                        and not isinstance(reply, RespError):
+                    prefix = _tenant_prefix(tenant)
+                    reply = [key for key in reply
+                             if key.startswith(prefix)]
+            conn.transport.send(encode(reply))
+            return
+        if tenant is not None and name == b"SCAN":
+            reply = self._execute(conn, request)
+            if (isinstance(reply, list) and len(reply) == 2
+                    and isinstance(reply[1], list)):
+                prefix = _tenant_prefix(tenant)
+                reply = [reply[0], [key for key in reply[1]
+                                    if key.startswith(prefix)]]
             conn.transport.send(encode(reply))
             return
         super()._serve(conn, request)
+
+    def _serve_tenant(self, conn: ServerConnection,
+                      request: List[bytes]) -> None:
+        if len(request) != 2:
+            conn.transport.send(encode(RespError(
+                "ERR wrong number of arguments for 'tenant' command")))
+            return
+        tenant = request[1].decode("utf-8", "replace")
+        if self.tenant_gate is not None \
+                and not self.tenant_gate.registry.known(tenant):
+            conn.transport.send(encode(RespError(
+                f"TENANTUNKNOWN no such tenant {tenant!r}")))
+            return
+        conn.tenant = tenant
+        conn.transport.send(b"+OK\r\n")
+
+    def _tenant_dbsize(self, conn: ServerConnection, tenant: str) -> int:
+        """Tenant-scoped DBSIZE: live keys inside the tenant's prefix,
+        excluding importing slots (same rule as `_without_importing`)."""
+        importing = set(self.slot_map.importing_slots_of(self.shard_index))
+        keys = self.store.live_keys_with_prefix(
+            _tenant_prefix(tenant).decode("utf-8"),
+            conn.session.db_index)
+        if importing:
+            keys = [key for key in keys
+                    if slot_for_key(key) not in importing]
+        return len(keys)
 
     def _holds(self, conn: ServerConnection, key: bytes) -> bool:
         return self.store.has_live_key(key, conn.session.db_index)
@@ -498,8 +578,20 @@ class ClusterClient:
         self._replica_rng = random.Random(replica_seed)
         self.replica_reads = 0
         self.stale_replica_reads = 0
+        self.tenant: Optional[str] = None
         self._route: List[int] = []
         self.refresh_routing()
+
+    def set_tenant(self, tenant: str) -> None:
+        """Stamp this client's connection to every shard with ``tenant``.
+
+        All subsequent requests execute inside that tenant's namespace
+        and against its quotas; an unregistered tenant is refused with
+        ``TENANTUNKNOWN`` (raised as a :class:`RespError`).
+        """
+        for shard in range(len(self.nodes)):
+            self.call("TENANT", tenant, shard=shard)
+        self.tenant = tenant
 
     # -- routing -----------------------------------------------------------
 
@@ -828,7 +920,8 @@ def build_cluster(num_shards: int,
                   workers: Optional[int] = None,
                   dispatch_overhead: float = 0.0,
                   adaptive_batch: bool = False,
-                  max_batch: int = 32) -> ClusterClient:
+                  max_batch: int = 32,
+                  tenant_gate=None) -> ClusterClient:
     """Wire up a ready-to-use cluster.
 
     ``event_driven=True`` puts every shard behind an event-loop server on
@@ -888,6 +981,8 @@ def build_cluster(num_shards: int,
         node = ClusterNode(index, store, channel,
                            slot_map=slot_map,
                            scheduler=master if event_driven else None)
+        if tenant_gate is not None:
+            node.server.attach_tenant_gate(tenant_gate)
         if workers is not None:
             from .workers import WorkerPool, WorkerPoolConfig
             pool = WorkerPool(node_clock, WorkerPoolConfig(

@@ -132,6 +132,14 @@ class ShardedGDPRStore:
                       keystore=self.keystore)
             for index in range(num_shards)]
         self.replication: Optional[ClusterReplication] = None
+        self._tenant_policies = None
+
+    def attach_tenant_policies(self, resolver) -> None:
+        """Fan a per-tenant policy resolver out to every shard (and to
+        shards added or recovered later)."""
+        self._tenant_policies = resolver
+        for shard in self.shards:
+            shard.attach_tenant_policies(resolver)
 
     def _build_engine(self, index: int,
                       cold_device: Optional[AppendLog] = None
@@ -489,10 +497,12 @@ class ShardedGDPRStore:
             raise ClusterError(
                 f"slot map grew to shard {index} but the store holds "
                 f"{len(self.shards)} shards; topologies diverged")
-        self.shards.append(
-            GDPRStore(kv=self._build_engine(index),
-                      config=self._config_factory(index),
-                      keystore=self.keystore))
+        shard = GDPRStore(kv=self._build_engine(index),
+                          config=self._config_factory(index),
+                          keystore=self.keystore)
+        if self._tenant_policies is not None:
+            shard.attach_tenant_policies(self._tenant_policies)
+        self.shards.append(shard)
         return index
 
     def attach_autoscaler(self, signals,
@@ -597,6 +607,8 @@ class ShardedGDPRStore:
             kv.rewrite_aof()
         shard = GDPRStore(kv=kv, config=self._config_factory(index),
                           keystore=self.keystore)
+        if self._tenant_policies is not None:
+            shard.attach_tenant_policies(self._tenant_policies)
         shard.rebuild_indexes()
         self.shards[index] = shard
         if self.replication is not None \

@@ -56,10 +56,12 @@ from .slots import slot_for_key
 
 # Keyless commands that scan or rewrite the whole keyspace: these cannot
 # ride a single core.  (The rest of KEYLESS_COMMANDS -- PING, CONFIG,
-# INFO, ... -- are control-plane and ride worker 0.)
+# INFO, ... -- are control-plane and ride worker 0.)  TENANT is a
+# barrier so the connection's tenant stamp is ordered with respect to
+# every command dispatched around it, whichever worker serves them.
 GLOBAL_COMMANDS = frozenset(
     BROADCAST_COMMANDS | UNROUTABLE_COMMANDS
-    | {b"BGREWRITEAOF", b"BGSAVE", b"SAVE"})
+    | {b"BGREWRITEAOF", b"BGSAVE", b"SAVE", b"TENANT"})
 
 # Route classification sentinels (slots are plain ints, multi-slot
 # commands carry their slot tuple so re-routing survives worker raises).
@@ -125,7 +127,7 @@ class _WorkerState:
     and per-worker latency attribution histograms."""
 
     __slots__ = ("clock", "batch", "commands", "dispatches",
-                 "queue_delay", "service_time")
+                 "queue_delay", "service_time", "aof_seconds")
 
     def __init__(self, clock: WorkerClock, config: WorkerPoolConfig) -> None:
         self.clock = clock
@@ -134,6 +136,7 @@ class _WorkerState:
         self.dispatches = 0
         self.queue_delay = LatencyHistogram()
         self.service_time = LatencyHistogram()
+        self.aof_seconds = 0.0
 
 
 class _ConnState:
@@ -172,7 +175,10 @@ class WorkerPool:
         self._tick_handle = None
         self._rr_cursor = 0
         self._resize_pending = 0
+        self._shed_pending = 0
         self._ewma: Optional[float] = None
+        self._last_aof_writer: Optional[_WorkerState] = None
+        self.retired: List[_WorkerState] = []
         self.barrier_commands = 0
         self.resizes: List[Tuple[float, int]] = []  # (time, new count)
 
@@ -239,7 +245,8 @@ class WorkerPool:
         (round-robin over connections), then schedule the next tick at
         the earliest instant a blocked head could run."""
         now = self.scheduler.now()
-        if self._resize_pending and not self._apply_resize(now):
+        if (self._resize_pending or self._shed_pending) \
+                and not self._apply_resize(now):
             return                      # re-wakes itself at quiescence
         progress = True
         while progress:
@@ -300,14 +307,18 @@ class WorkerPool:
         worker.clock.idle_until(now)
         if self.config.dispatch_overhead:
             worker.clock.advance(self.config.dispatch_overhead)
+        aof = getattr(self.server.store, "aof", None)
         for conn, request, arrival in batch:
             self._note_delay(worker, now - arrival)
             began = worker.clock.now()
+            written = aof.records_written if aof is not None else 0
             self.shard_clock.activate(worker.clock)
             try:
                 self.server._serve(conn, request)
             finally:
                 self.shard_clock.release()
+            if aof is not None and aof.records_written > written:
+                self._last_aof_writer = worker
             worker.service_time.record(worker.clock.now() - began)
             worker.commands += 1
             self.server.loop_iterations += 1
@@ -390,7 +401,31 @@ class WorkerPool:
         if earliest is not None:
             self._wake_at(earliest)
 
-    # -- live scale-up ------------------------------------------------------
+    # -- background work (cron) attribution ---------------------------------
+
+    def cron_tick(self) -> None:
+        """Run the store's cron (AOF fsync, expiry cycles) billing its
+        cost to the worker that *caused* it: the core that executed the
+        most recent AOF-appending write.  Without this, an everysec
+        fsync would stop the world -- every core billed for one core's
+        flush -- misattributing durability cost under multi-core shards.
+        With one worker this is numerically identical to stop-the-world.
+        """
+        store = self.server.store
+        now = self.scheduler.now()
+        store.clock.sleep_until(now)
+        writer = self._last_aof_writer
+        if writer is None or writer not in self.workers:
+            writer = self.workers[0]
+        before = writer.clock.busy_seconds
+        self.shard_clock.activate(writer.clock)
+        try:
+            store.tick()
+        finally:
+            self.shard_clock.release()
+        writer.aof_seconds += writer.clock.busy_seconds - before
+
+    # -- live scale-up / scale-down -----------------------------------------
 
     @property
     def num_workers(self) -> int:
@@ -404,7 +439,20 @@ class WorkerPool:
         self._resize_pending += 1
         if self.scheduler is not None:
             self.wake()
-        return len(self.workers) + self._resize_pending
+        return len(self.workers) + self._resize_pending - self._shed_pending
+
+    def remove_worker(self) -> int:
+        """Request one core shed (a cold shard giving a core back).
+        Applies at quiescence like :meth:`add_worker`; the pool never
+        drops below one worker.  Returns the count heading for."""
+        heading = len(self.workers) + self._resize_pending \
+            - self._shed_pending
+        if heading <= 1:
+            raise ValueError("a shard needs at least one worker")
+        self._shed_pending += 1
+        if self.scheduler is not None:
+            self.wake()
+        return heading - 1
 
     def _apply_resize(self, now: float) -> bool:
         busy = [w.clock.now() for w in self.workers if w.clock.now() > now]
@@ -414,7 +462,15 @@ class WorkerPool:
         for _ in range(self._resize_pending):
             clock = self.shard_clock.add_worker(now)
             self.workers.append(_WorkerState(clock, self.config))
+        while self._shed_pending and len(self.workers) > 1:
+            self._shed_pending -= 1
+            retired = self.workers.pop()
+            self.shard_clock.remove_worker()
+            if self._last_aof_writer is retired:
+                self._last_aof_writer = None
+            self.retired.append(retired)
         self._resize_pending = 0
+        self._shed_pending = 0
         self.resizes.append((now, len(self.workers)))
         return True
 
@@ -426,24 +482,27 @@ class WorkerPool:
         return self._ewma if self._ewma is not None else 0.0
 
     def commands_served(self) -> int:
-        return sum(worker.commands for worker in self.workers)
+        return sum(worker.commands
+                   for worker in self.workers + self.retired)
 
     def merged_queue_delay(self) -> LatencyHistogram:
         merged = LatencyHistogram()
-        for worker in self.workers:
+        for worker in self.workers + self.retired:
             merged.merge(worker.queue_delay)
         return merged
 
     def merged_service_time(self) -> LatencyHistogram:
         merged = LatencyHistogram()
-        for worker in self.workers:
+        for worker in self.workers + self.retired:
             merged.merge(worker.service_time)
         return merged
 
     def worker_rows(self) -> List[Dict[str, float]]:
-        """Per-core attribution: commands, dispatches, busy seconds, and
-        mean queueing delay -- the imbalance a hot key causes under the
-        slot % K partition is visible here."""
+        """Per-core attribution: commands, dispatches, busy seconds,
+        attributed AOF/fsync seconds, and mean queueing delay -- the
+        imbalance a hot key causes under the slot % K partition is
+        visible here.  Live cores only; shed cores keep counting in the
+        merged totals."""
         rows = []
         for worker in self.workers:
             delay = worker.queue_delay
@@ -452,6 +511,7 @@ class WorkerPool:
                 "commands": worker.commands,
                 "dispatches": worker.dispatches,
                 "busy_seconds": worker.clock.busy_seconds,
+                "aof_seconds": worker.aof_seconds,
                 "mean_queue_delay": delay.mean() if delay.count else 0.0,
             })
         return rows

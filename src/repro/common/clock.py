@@ -328,6 +328,23 @@ class ShardClock(Clock):
         self.workers.append(worker)
         return worker
 
+    def remove_worker(self) -> WorkerClock:
+        """Take the last core offline (a live worker shed).
+
+        The remaining cores are idled forward to the departing core's
+        frontier so ``now()`` (max across cores) never moves backwards
+        when the shed core happened to own the frontier."""
+        if self._active is not None:
+            raise RuntimeError("cannot shed a worker mid-command")
+        if len(self.workers) <= 1:
+            raise ValueError("a shard needs at least one worker")
+        retired = self.workers.pop()
+        frontier = max(retired.now(),
+                       max(worker.now() for worker in self.workers))
+        for worker in self.workers:
+            worker.idle_until(frontier)
+        return retired
+
     def activate(self, worker: WorkerClock) -> None:
         if self._active is not None:
             raise RuntimeError("shard clock already has an active worker")

@@ -177,6 +177,35 @@ class RedirectLoopError(ClusterError):
 
 
 # ---------------------------------------------------------------------------
+# Tenancy layer
+# ---------------------------------------------------------------------------
+
+
+class TenancyError(ClusterError):
+    """Base class for multi-tenant control-plane errors."""
+
+
+class UnknownTenantError(TenancyError):
+    """A request named a tenant the registry has never heard of.
+
+    The message begins ``TENANTUNKNOWN`` so the RESP layer forwards it
+    unprefixed (like redirects), letting clients match on the token.
+    """
+
+
+class TenantAccessError(TenancyError):
+    """A request addressed a key outside the requesting tenant's
+    namespace.  The message begins ``TENANTDENIED`` (see above)."""
+
+
+class QuotaExceededError(TenancyError):
+    """A tenant exhausted one of its quotas -- the ops/s token bucket,
+    the key-count cap, or the byte budget.  The message begins
+    ``QUOTAEXCEEDED`` so clients (and the open-loop driver) can tell a
+    throttle from a genuine failure."""
+
+
+# ---------------------------------------------------------------------------
 # GDPR layer
 # ---------------------------------------------------------------------------
 

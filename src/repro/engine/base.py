@@ -153,6 +153,27 @@ class StorageEngine:
         matching DBSIZE semantics on both engines)."""
         raise NotImplementedError
 
+    # -- namespaced keyspace views (tenancy) -------------------------------
+    #
+    # Shared prefix-filtered views over the abstract keyspace: the
+    # tenancy layer scopes KEYS/SCAN/DBSIZE and footprint audits to one
+    # tenant's ``tenant/`` namespace through these, so every engine
+    # (and the tiered wrapper) gets tenant-scoped views for free.
+    # Engines with a sorted keyspace index may override with a range
+    # scan.
+
+    def live_keys_with_prefix(self, prefix: str,
+                              db_index: int = 0) -> List[bytes]:
+        """Every non-expired key inside ``prefix``'s namespace."""
+        needle = prefix.encode("utf-8")
+        return [key for key in self.live_keys(db_index)
+                if key.startswith(needle)]
+
+    def key_count_with_prefix(self, prefix: str, db_index: int = 0) -> int:
+        """Live-key count inside ``prefix``'s namespace (the
+        tenant-scoped DBSIZE)."""
+        return len(self.live_keys_with_prefix(prefix, db_index))
+
     # -- durability --------------------------------------------------------
 
     def save_snapshot(self) -> bytes:

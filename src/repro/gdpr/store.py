@@ -30,6 +30,7 @@ from ..common.errors import (
     AccessDeniedError,
     IntegrityError,
     KeyNotFoundError,
+    LocationViolationError,
     PurposeViolationError,
     UnknownSubjectError,
 )
@@ -139,6 +140,12 @@ class GDPRStore:
             self._writebehind = WriteBehindIndexer(
                 self._apply_writebehind, clock=self.clock,
                 interval=self.config.writebehind_interval)
+        # Per-tenant policy overrides (attach_tenant_policies): when a
+        # resolver is attached, keys inside a registered tenant's
+        # namespace take that tenant's policy instead of the global
+        # config for retention, residency, audit, encryption, and the
+        # fast-GDPR write shape.
+        self._tenant_policies = None
         self.kv.add_deletion_listener(self._on_kv_deletion)
         if getattr(self.kv, "supports_tiering", False):
             # A tiering engine archives idle records into cold segments:
@@ -150,6 +157,42 @@ class GDPRStore:
             self.kv.add_tier_listener(self._on_tier_event)
             if self._writebehind is not None:
                 self.kv.before_demote = self._writebehind.flush
+
+    # -- tenancy ------------------------------------------------------------------
+
+    def attach_tenant_policies(self, resolver) -> None:
+        """Install a per-tenant policy resolver (duck-typed: anything
+        with ``policy_for_key(name) -> policy | None``, e.g. a
+        :class:`~repro.tenancy.registry.TenantRegistry`).
+
+        Keys and subjects carrying a registered ``tenant/`` prefix are
+        governed by that tenant's :class:`~repro.tenancy.registry.
+        TenantPolicy`; everything else keeps the global config.  If any
+        tenant opted into ``fast_gdpr`` the write-behind machinery is
+        built on demand so those tenants' writes can take the amortized
+        path while strict tenants stay synchronous.
+        """
+        self._tenant_policies = resolver
+        any_fast = getattr(resolver, "any_fast_gdpr", None)
+        if self._writebehind is None and any_fast is not None \
+                and any_fast():
+            self._writebehind = WriteBehindIndexer(
+                self._apply_writebehind, clock=self.clock,
+                interval=self.config.writebehind_interval)
+            if getattr(self.kv, "supports_tiering", False):
+                self.kv.before_demote = self._writebehind.flush
+
+    def _tenant_policy(self, name: Optional[str]):
+        """The tenant policy governing a qualified key/subject name."""
+        if self._tenant_policies is None or name is None:
+            return None
+        return self._tenant_policies.policy_for_key(name)
+
+    def _encrypt_for(self, key: str) -> bool:
+        policy = self._tenant_policy(key)
+        if policy is not None:
+            return policy.encryption_required
+        return self.config.encrypt_at_rest
 
     # -- internal helpers ---------------------------------------------------------
 
@@ -164,6 +207,12 @@ class GDPRStore:
                       key: Optional[str], subject: Optional[str],
                       purpose: Optional[str], outcome: str,
                       detail: str = "") -> None:
+        # A tenant that switched monitoring off (its own Art. 30
+        # trade-off) keeps its interactions out of the chain; resolve
+        # off the key when present, else the (qualified) subject.
+        policy = self._tenant_policy(key if key is not None else subject)
+        if policy is not None and not policy.audit_enabled:
+            return
         self.audit.append(principal=principal, operation=operation,
                           key=key, subject=self._audit_name(subject),
                           purpose=purpose, outcome=outcome, detail=detail)
@@ -171,13 +220,13 @@ class GDPRStore:
     def _seal(self, key: str, metadata: GDPRMetadata,
               value: bytes) -> bytes:
         envelope = pack_envelope(metadata, value)
-        if not self.config.encrypt_at_rest:
+        if not self._encrypt_for(key):
             return envelope
         cipher = self.keystore.cipher_for(metadata.owner)
         return cipher.seal(envelope, aad=key.encode("utf-8"))
 
     def _unseal(self, key: str, owner: str, blob: bytes) -> bytes:
-        if not self.config.encrypt_at_rest:
+        if not self._encrypt_for(key):
             return blob
         cipher = self.keystore.cipher_for(owner, create=False)
         return cipher.open(blob, aad=key.encode("utf-8"))
@@ -252,19 +301,37 @@ class GDPRStore:
                 "(Art. 5 purpose limitation)")
         if metadata.created_at == 0.0:
             metadata = _with_created_at(metadata, now)
+        tenant_policy = self._tenant_policy(key)
         if metadata.ttl is None:
             # Storage limitation: derive retention from purpose policies
-            # (the tightest bound), else the store default.
+            # (the tightest bound), else the tenant default, else the
+            # store default.
             derived = self.policies.effective_retention(metadata)
+            if derived is None and tenant_policy is not None:
+                derived = tenant_policy.default_ttl
             if derived is None:
                 derived = self.config.default_ttl
             if derived is not None:
                 metadata = _with_ttl(metadata, derived)
         self.policies.validate(metadata)
+        if tenant_policy is not None and tenant_policy.region is not None \
+                and tenant_policy.region != self.config.region:
+            # Art. 46 region pin: the tenant's data may only land on
+            # nodes inside its pinned region.
+            self._record_audit(principal.name, "put", key, metadata.owner,
+                               purpose, "denied",
+                               f"tenant region pin {tenant_policy.region}")
+            raise LocationViolationError(
+                f"record {key!r} is pinned to region "
+                f"{tenant_policy.region!r} but this node is in "
+                f"{self.config.region!r}")
         self.locations.check_placement(metadata, self.config.region)
         blob = self._seal(key, metadata, value)
         deadline = metadata.expire_at()
-        if self._writebehind is not None:
+        use_fast = self._writebehind is not None and (
+            tenant_policy.fast_gdpr if tenant_policy is not None
+            else self.config.fast_gdpr)
+        if use_fast:
             # Fast-GDPR write shape: one fused engine command where the
             # engine speaks SET..PXAT (value + retention deadline in one
             # AOF record), the sidecar index updated inline (reads check
@@ -476,6 +543,13 @@ class GDPRStore:
                     break
                 except Exception:
                     continue
+            if recovered is None:
+                # Tenants that opted out of encryption store plaintext
+                # envelopes even on an encrypting store.
+                try:
+                    recovered, _ = unpack_envelope(blob)
+                except Exception:
+                    recovered = None
             if recovered is not None:
                 entries.append((key, recovered))
         count = self.index.rebuild(entries)

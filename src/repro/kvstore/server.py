@@ -325,8 +325,13 @@ class EventLoopMixin:
             interval = 1.0 / self.store.config.hz
 
         def fire() -> None:
-            self.store.clock.sleep_until(self.scheduler.now())
-            self.store.tick()
+            if self._pool is not None:
+                # Multi-core shard: bill the cron's cost (everysec
+                # fsync) to the worker that wrote, not the whole shard.
+                self._pool.cron_tick()
+            else:
+                self.store.clock.sleep_until(self.scheduler.now())
+                self.store.tick()
             self._cron_handle = self.scheduler.schedule_after(
                 interval, fire, label="server-cron", daemon=True)
 

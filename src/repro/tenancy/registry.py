@@ -1,0 +1,191 @@
+"""Tenant registry: the control plane's source of truth.
+
+A *tenant* is a data controller renting a slice of the GDPR storage
+service.  Each tenant owns a namespace (every key and every data-subject
+id is qualified with a ``tenant/`` prefix), a compliance policy (the
+per-tenant replacement for the store-wide :class:`~repro.gdpr.store.
+GDPRConfig` knobs), and a quota (key count, byte budget, and an ops/s
+token bucket enforced at the cluster server boundary).
+
+The namespace scheme is a plain prefix, deliberately *not* a
+``{hash tag}``: a hash tag would pin every key of a tenant to one hash
+slot and defeat sharding.  A tenant's keys spread over the cluster like
+anyone else's; the boundary is enforced by prefix checks and
+prefix-filtered keyspace views, and the GDPR fan-out is bounded because
+subjects are qualified the same way (tenant ``acme``'s subject ``alice``
+is ``acme/alice`` everywhere: metadata owner, inverted indexes,
+per-subject encryption keys -- so crypto-erasure of ``acme/alice`` can
+never touch ``globex/alice``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import UnknownTenantError
+
+#: Separator between the tenant id and the tenant-local name.  Tenant ids
+#: themselves must not contain it.
+TENANT_SEP = "/"
+
+
+def qualify_key(tenant: str, key: str) -> str:
+    """The cluster-wide name of a tenant-local key."""
+    return f"{tenant}{TENANT_SEP}{key}"
+
+
+def qualify_subject(tenant: str, subject: str) -> str:
+    """The cluster-wide id of a tenant-local data subject."""
+    return f"{tenant}{TENANT_SEP}{subject}"
+
+
+def key_prefix(tenant: str) -> str:
+    return tenant + TENANT_SEP
+
+
+def tenant_of(qualified: str) -> Optional[str]:
+    """The tenant owning a qualified name (None for unqualified names)."""
+    head, sep, _ = qualified.partition(TENANT_SEP)
+    return head if sep else None
+
+
+def local_name(tenant: str, qualified: str) -> str:
+    """Strip ``tenant``'s prefix off a qualified name."""
+    prefix = key_prefix(tenant)
+    if not qualified.startswith(prefix):
+        raise ValueError(f"{qualified!r} is not in tenant {tenant!r}")
+    return qualified[len(prefix):]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant compliance policy: the knobs that used to be global.
+
+    ``None`` fields defer to the hosting store's :class:`~repro.gdpr.
+    store.GDPRConfig`; a set field overrides it for this tenant's keys
+    only.
+    """
+
+    region: Optional[str] = None          # residency pin (Art. 46)
+    default_ttl: Optional[float] = None   # retention default (Art. 5.1e)
+    audit_enabled: bool = True            # Art. 30 monitoring on/off
+    fast_gdpr: bool = False               # amortized-compliance write path
+    encryption_required: bool = True      # envelope encryption at rest
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource caps, enforced at the server boundary.
+
+    ``None`` disables the corresponding cap.  ``burst`` is the token
+    bucket's capacity; it defaults to one second's worth of tokens.
+    """
+
+    max_keys: Optional[int] = None
+    max_bytes: Optional[int] = None
+    ops_per_sec: Optional[float] = None
+    burst: Optional[float] = None
+
+    def bucket_capacity(self) -> Optional[float]:
+        if self.ops_per_sec is None:
+            return None
+        return self.burst if self.burst is not None else self.ops_per_sec
+
+
+class TokenBucket:
+    """A deterministic token bucket driven by simulated-clock time.
+
+    Refill is computed lazily from elapsed clock time, so behaviour is a
+    pure function of the event timeline -- byte-identical across runs.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "_last")
+
+    def __init__(self, rate: float, capacity: float,
+                 now: float = 0.0) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("token bucket needs positive rate/capacity")
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.capacity,
+                              self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False means *throttle*."""
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+@dataclass
+class _TenantEntry:
+    policy: TenantPolicy = field(default_factory=TenantPolicy)
+    quota: TenantQuota = field(default_factory=TenantQuota)
+
+
+class TenantRegistry:
+    """tenant id -> (:class:`TenantPolicy`, :class:`TenantQuota`)."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, _TenantEntry] = {}
+
+    def register(self, tenant: str,
+                 policy: Optional[TenantPolicy] = None,
+                 quota: Optional[TenantQuota] = None) -> None:
+        if TENANT_SEP in tenant or not tenant:
+            raise ValueError(
+                f"tenant id {tenant!r} must be non-empty and must not "
+                f"contain {TENANT_SEP!r}")
+        self._tenants[tenant] = _TenantEntry(
+            policy=policy if policy is not None else TenantPolicy(),
+            quota=quota if quota is not None else TenantQuota())
+
+    def known(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def require(self, tenant: str) -> _TenantEntry:
+        entry = self._tenants.get(tenant)
+        if entry is None:
+            raise UnknownTenantError(
+                f"TENANTUNKNOWN no such tenant {tenant!r}")
+        return entry
+
+    def policy_of(self, tenant: str) -> TenantPolicy:
+        return self.require(tenant).policy
+
+    def quota_of(self, tenant: str) -> TenantQuota:
+        return self.require(tenant).quota
+
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    # -- GDPR-layer integration (duck-typed policy resolver) ---------------
+
+    def policy_for_key(self, key: str) -> Optional[TenantPolicy]:
+        """The policy governing a (possibly qualified) key, or None for
+        keys outside any registered tenant's namespace.  This is the
+        resolver :class:`~repro.gdpr.store.GDPRStore` consults."""
+        tenant = tenant_of(key)
+        if tenant is None:
+            return None
+        entry = self._tenants.get(tenant)
+        return entry.policy if entry is not None else None
+
+    def any_fast_gdpr(self) -> bool:
+        """True when some tenant opted into the amortized write path
+        (the hosting store must build its write-behind machinery)."""
+        return any(entry.policy.fast_gdpr
+                   for entry in self._tenants.values())
+
+    def items(self) -> List[Tuple[str, TenantPolicy, TenantQuota]]:
+        return [(name, entry.policy, entry.quota)
+                for name, entry in sorted(self._tenants.items())]

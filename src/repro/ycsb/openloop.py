@@ -82,7 +82,7 @@ class _Op:
     """One admitted operation's lifecycle."""
 
     __slots__ = ("kind", "phases", "phase", "arrival", "start", "finish",
-                 "asking", "redirects", "failed")
+                 "asking", "redirects", "failed", "throttled")
 
     def __init__(self, kind: str, phases: List[List[Any]]) -> None:
         self.kind = kind
@@ -94,6 +94,7 @@ class _Op:
         self.asking = False
         self.redirects = 0
         self.failed = False
+        self.throttled = False      # rejected with QUOTAEXCEEDED
 
 
 @dataclass
@@ -109,6 +110,10 @@ class OpenLoopReport:
     service_time: LatencyHistogram = field(default_factory=LatencyHistogram)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     failures: int = 0
+    throttled: int = 0          # ops rejected with QUOTAEXCEEDED (quota
+                                # rejections are not failures: the gate
+                                # worked); kept out of summary() so
+                                # non-tenant parity baselines are stable
     redirects_followed: int = 0
     max_backlog: int = 0
     route_updates: int = 0      # MOVED lessons absorbed into per-client
@@ -179,7 +184,8 @@ class _SimClient:
         self._conns: Dict[int, EventConnection] = {}
         self.routes: List[int] = runner.cluster.routing_snapshot()
         self.op: Optional[_Op] = None
-        self._skip_next = False        # a pending +OK answering ASKING
+        self._skip_replies = 0         # pending +OKs answering ASKING /
+                                       # the connection's TENANT stamp
 
     def _connection(self, shard: int) -> EventConnection:
         conn = self._conns.get(shard)
@@ -187,6 +193,11 @@ class _SimClient:
             conn = self._runner.cluster.nodes[shard].connect()
             conn.on_reply = self._on_reply
             self._conns[shard] = conn
+            if self._runner.tenant is not None:
+                # Stamp the fresh connection once; the +OK is consumed
+                # like ASKING's.
+                conn.send_command("TENANT", self._runner.tenant)
+                self._skip_replies += 1
         return conn
 
     def issue(self, op: _Op) -> None:
@@ -203,12 +214,12 @@ class _SimClient:
         if op.asking:
             conn.send_command("ASKING")
             op.asking = False
-            self._skip_next = True
+            self._skip_replies += 1
         conn.send_command(*argv)
 
     def _on_reply(self, value: Any) -> None:
-        if self._skip_next:            # the +OK answering ASKING
-            self._skip_next = False
+        if self._skip_replies:         # +OK answering ASKING / TENANT
+            self._skip_replies -= 1
             return
         op = self.op
         redirect = parse_redirect(value)
@@ -230,7 +241,10 @@ class _SimClient:
             self._send_phase(redirect.shard)
             return
         if isinstance(value, RespError):
-            op.failed = True
+            if value.message.startswith("QUOTAEXCEEDED"):
+                op.throttled = True
+            else:
+                op.failed = True
         op.phase += 1
         if op.phase < len(op.phases):
             self._send_phase()
@@ -244,7 +258,8 @@ class OpenLoopRunner:
     def __init__(self, cluster: ClusterClient, spec: WorkloadSpec,
                  clients: int = 4, arrival_rate: float = 10_000.0,
                  arrival_distribution: str = "poisson",
-                 seed: int = 42, max_redirects: int = 5) -> None:
+                 seed: int = 42, max_redirects: int = 5,
+                 tenant: Optional[str] = None) -> None:
         if not cluster.event_driven:
             raise ClusterError(
                 "the open-loop runner needs an event-driven cluster "
@@ -260,6 +275,16 @@ class OpenLoopRunner:
         self.spec = spec
         self.max_redirects = max_redirects
         self.arrival_rate = arrival_rate
+        # Per-tenant stream: keys live under the tenant's namespace and
+        # every connection is stamped with TENANT before first use, so
+        # the cluster's admission gate sees (and bills) this stream as
+        # that tenant.
+        self.tenant = tenant
+        if tenant is None:
+            self._key_prefix = ""
+        else:
+            from ..tenancy.registry import TENANT_SEP
+            self._key_prefix = tenant + TENANT_SEP
         root = random.Random(seed)
         self._arrivals = ArrivalProcess(
             arrival_rate, arrival_distribution,
@@ -282,6 +307,8 @@ class OpenLoopRunner:
         self._report: Optional[OpenLoopReport] = None
         self._to_admit = 0
         self._started_at = 0.0
+        self._redirects_before = 0
+        self._updates_before = 0
 
     def set_arrival_rate(self, rate: float) -> None:
         """Change the offered rate between runs (a ramping workload for
@@ -299,7 +326,7 @@ class OpenLoopRunner:
         phase is not what this runner measures), then square up the
         timeline so preload CPU never bills to the run."""
         for keynum in range(self.spec.record_count):
-            key = build_key_name(keynum)
+            key = self._key_prefix + build_key_name(keynum)
             value = pack_fields(self.fields.build_values())
             # Authoritative routing, not the client's cached table: the
             # direct store write bypasses the server's MOVED check, so a
@@ -314,7 +341,7 @@ class OpenLoopRunner:
     def _next_existing_key(self) -> str:
         keynum = min(self._chooser.next_value(),
                      self.insert_counter.last_value())
-        return build_key_name(max(keynum, 0))
+        return self._key_prefix + build_key_name(max(keynum, 0))
 
     def _make_op(self) -> _Op:
         kind = self._op_mix.next_value()
@@ -327,7 +354,7 @@ class OpenLoopRunner:
         if kind == "insert":
             keynum = self.insert_counter.next_value()
             return _Op("insert", [[
-                "SET", build_key_name(keynum),
+                "SET", self._key_prefix + build_key_name(keynum),
                 pack_fields(self.fields.build_values())]])
         if kind == "rmw":
             key = self._next_existing_key()
@@ -341,6 +368,15 @@ class OpenLoopRunner:
     def run(self, operation_count: Optional[int] = None) -> OpenLoopReport:
         """Admit ``operation_count`` operations at the configured rate and
         drive the event loop until the last one completes."""
+        self.begin(operation_count)
+        self.clock.run_until_idle()
+        return self.finish()
+
+    def begin(self, operation_count: Optional[int] = None) -> None:
+        """Schedule this runner's admission stream onto the shared clock
+        without driving it.  Several runners -- per-tenant streams over
+        one cluster -- ``begin()`` on the same clock, the caller runs the
+        clock once, then ``finish()``es each for its report."""
         total = (operation_count if operation_count is not None
                  else self.spec.operation_count)
         report = OpenLoopReport(
@@ -351,16 +387,20 @@ class OpenLoopRunner:
         self._started_at = self.clock.now()
         # Snapshot the lifetime counters so this report carries *this
         # run's* redirects and cache lessons, not the runner's history.
-        redirects_before = self.redirects_followed
-        updates_before = self.route_updates
+        self._redirects_before = self.redirects_followed
+        self._updates_before = self.route_updates
         if total > 0:
             self.clock.schedule_after(self._arrivals.next_interarrival(),
                                       self._arrive, label="arrival")
-        self.clock.run_until_idle()
+
+    def finish(self) -> OpenLoopReport:
+        """Close out a :meth:`begin` whose clock has been driven to
+        completion and return its report."""
+        report = self._report
         report.sim_elapsed = self.clock.now() - self._started_at
         report.redirects_followed = self.redirects_followed \
-            - redirects_before
-        report.route_updates = self.route_updates - updates_before
+            - self._redirects_before
+        report.route_updates = self.route_updates - self._updates_before
         self._attribute_workers(report)
         return report
 
@@ -417,7 +457,9 @@ class OpenLoopRunner:
         report.completed += 1
         report.service_time.record(op.finish - op.start)
         report.latency.record(op.finish - op.arrival)
-        if op.failed:
+        if op.throttled:
+            report.throttled += 1
+        elif op.failed:
             report.failures += 1
         if self._backlog:
             self._dispatch(client, self._backlog.popleft())

@@ -110,4 +110,4 @@ class TestCli:
                                     "micro", "ablations", "scaling",
                                     "resharding", "concurrency",
                                     "workers", "replication",
-                                    "backends", "tiering"}
+                                    "backends", "tiering", "tenancy"}

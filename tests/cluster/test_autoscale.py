@@ -38,6 +38,7 @@ class FakeTarget:
         self.ewma = ewma
         self._workers = workers
         self.raises = 0
+        self.sheds = 0
 
     def queueing_delay_ewma(self):
         return self.ewma
@@ -49,6 +50,11 @@ class FakeTarget:
     def add_worker(self):
         self._workers += 1
         self.raises += 1
+        return self._workers
+
+    def remove_worker(self):
+        self._workers -= 1
+        self.sheds += 1
         return self._workers
 
 
@@ -140,6 +146,66 @@ class TestEscalationLadder:
         from repro.common.clock import WallClock
         with pytest.raises(ValueError):
             Autoscaler(WallClock(), [])
+
+
+class TestScaleDown:
+    def test_disabled_by_default(self):
+        target = FakeTarget(ewma=1e-6, workers=4)
+        clock, scaler, _ = make_scaler([target])
+        assert scaler.check() is None
+        clock.advance(10.0)
+        assert scaler.check() is None
+        assert target.sheds == 0
+
+    def test_shed_after_full_cold_window(self):
+        target = FakeTarget(ewma=1e-6, workers=3)
+        clock, scaler, _ = make_scaler([target], low_delay=50e-6,
+                                       cooldown=0.5)
+        # First observation starts the cold streak; not actionable yet.
+        assert scaler.check() is None
+        clock.advance(0.6)
+        event = scaler.check()
+        assert event.action == "worker-shed"
+        assert "2" in event.detail
+        assert target.sheds == 1 and target.num_workers == 2
+
+    def test_floor_at_one_worker(self):
+        target = FakeTarget(ewma=1e-6, workers=1)
+        clock, scaler, _ = make_scaler([target], low_delay=50e-6,
+                                       cooldown=0.1)
+        assert scaler.check() is None
+        clock.advance(1.0)
+        assert scaler.check() is None
+        assert target.sheds == 0
+
+    def test_warm_sample_resets_the_streak(self):
+        target = FakeTarget(ewma=1e-6, workers=2)
+        clock, scaler, _ = make_scaler([target], low_delay=50e-6,
+                                       high_delay=300e-6, cooldown=0.5)
+        assert scaler.check() is None           # streak starts
+        clock.advance(0.3)
+        target.ewma = 100e-6                    # warm (but not hot)
+        assert scaler.check() is None           # streak resets
+        clock.advance(0.3)
+        target.ewma = 1e-6
+        assert scaler.check() is None           # new streak, just begun
+        clock.advance(0.3)
+        assert scaler.check() is None           # 0.3 cold < cooldown
+        clock.advance(0.3)
+        assert scaler.check().action == "worker-shed"
+
+    def test_each_shed_needs_a_fresh_streak(self):
+        target = FakeTarget(ewma=1e-6, workers=4)
+        clock, scaler, _ = make_scaler([target], low_delay=50e-6,
+                                       cooldown=0.5)
+        scaler.check()
+        clock.advance(0.6)
+        assert scaler.check().action == "worker-shed"
+        clock.advance(0.6)          # past the action cooldown, but the
+        assert scaler.check() is None   # streak restarted at the shed
+        clock.advance(0.6)
+        assert scaler.check().action == "worker-shed"
+        assert target.num_workers == 2
 
 
 class TestDaemonTimer:

@@ -24,6 +24,8 @@ from repro.cluster.workers import (
 )
 from repro.common.clock import ShardClock, SimClock
 from repro.common.errors import ClusterError
+from repro.device.append_log import AppendLog
+from repro.device.latency import INTEL_750_SSD
 from repro.kvstore import KeyValueStore, StoreConfig, connect_event
 from repro.ycsb import OpenLoopRunner, WORKLOAD_B
 
@@ -306,6 +308,137 @@ class TestLiveWorkerRaise:
         server.scheduler.run_until_idle()
         assert shard_clock.workers[1].now() >= frontier
         assert shard_clock.workers[1].busy_seconds == 0.0
+
+
+class TestLiveWorkerShed:
+    def test_remove_worker_applies_at_quiescence(self):
+        server, (conn, _), pool, shard_clock = make_pool_server(workers=2)
+        for index in range(8):
+            conn.send_command("SET", f"k{index}", index)
+        server.scheduler.run_until_idle()
+        heading = pool.remove_worker()
+        assert heading == 1
+        server.scheduler.run_until_idle()
+        assert pool.num_workers == 1
+        assert shard_clock.num_workers == 1
+        assert pool.resizes and pool.resizes[-1][1] == 1
+        assert len(pool.retired) == 1
+        # The shed core's history keeps counting in the merged totals.
+        assert pool.commands_served() == 8
+        # The survivor serves the whole keyspace, in order.
+        conn.replies.clear()
+        for index in range(8):
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) \
+            == [str(i).encode() for i in range(8)]
+
+    def test_shed_mid_stream_preserves_reply_order(self):
+        server, (conn, _), pool, _ = make_pool_server(workers=2)
+        for index in range(16):
+            conn.send_command("SET", f"k{index}", index)
+        pool.remove_worker()       # requested while commands are queued
+        for index in range(16):
+            conn.send_command("GET", f"k{index}")
+        server.scheduler.run_until_idle()
+        assert list(conn.replies) \
+            == ["OK"] * 16 + [str(i).encode() for i in range(16)]
+        assert pool.num_workers == 1
+
+    def test_never_below_one_worker(self):
+        _, _, pool, _ = make_pool_server(workers=1)
+        with pytest.raises(ValueError):
+            pool.remove_worker()
+
+    def test_shard_clock_frontier_never_goes_backwards(self):
+        shard = ShardClock(0.0, workers=2)
+        shard.activate(shard.workers[1])
+        shard.advance(5.0)          # worker 1 owns the frontier
+        shard.release()
+        before = shard.now()
+        shard.remove_worker()
+        assert shard.now() >= before
+        assert shard.num_workers == 1
+
+    def test_cold_autoscaled_pool_returns_to_one_worker(self):
+        from repro.cluster import Autoscaler, AutoscaleConfig
+        cluster = build_cluster(1, store_factory=cpu_factory,
+                                event_driven=True, latency=10e-6,
+                                workers=2)
+        pool = cluster.nodes[0].pool
+        scaler = Autoscaler(
+            cluster.clock, [pool],
+            AutoscaleConfig(interval=1e-3, low_delay=50e-6,
+                            cooldown=5e-3))
+        spec = WORKLOAD_B.scaled(record_count=40, operation_count=200)
+        runner = OpenLoopRunner(cluster, spec, clients=4,
+                                arrival_rate=5_000.0, seed=7)
+        runner.preload()
+        scaler.start()
+        report = runner.run(200)
+        scaler.stop()
+        assert any(event.action == "worker-shed"
+                   for event in scaler.events)
+        assert pool.num_workers == 1
+        # The shed never perturbed the stream: every op completed and
+        # none failed (per-connection reply order is what completion
+        # accounting rides on).
+        assert report.completed == 200
+        assert report.failures == 0
+
+
+class TestAofAttribution:
+    def _aof_pool_server(self, workers=2):
+        scheduler = SimClock()
+        shard_clock = ShardClock(0.0, workers=workers)
+        aof_log = AppendLog(clock=shard_clock, latency=INTEL_750_SSD)
+        store = KeyValueStore(
+            StoreConfig(command_cpu_cost=CPU, appendonly=True,
+                        appendfsync="everysec"),
+            clock=shard_clock, aof_log=aof_log)
+        server, conns = connect_event(store, scheduler=scheduler,
+                                      connections=2)
+        pool = WorkerPool(shard_clock, WorkerPoolConfig(workers=workers))
+        server.attach_workers(pool)
+        server.start_cron()
+        return server, conns, pool, shard_clock
+
+    def test_cron_fsync_bills_the_writing_worker(self):
+        server, (conn, _), pool, shard_clock = self._aof_pool_server()
+        write_key = next(f"w{i}" for i in range(64)
+                         if slot_for_key(f"w{i}".encode()) % 2 == 1)
+        read_key = next(f"r{i}" for i in range(64)
+                        if slot_for_key(f"r{i}".encode()) % 2 == 0)
+        conn.send_command("SET", write_key, "v")
+        conn.send_command("GET", write_key)
+        server.scheduler.run_until_idle()
+        writer, reader = pool.workers[1], pool.workers[0]
+        reader_busy = reader.clock.busy_seconds
+        # Carry the daemon cron across the everysec boundary with
+        # foreground work that costs nothing itself.
+        server.scheduler.schedule_after(1.5, lambda: None, label="work")
+        server.scheduler.run_until_idle()
+        # The fsync's device time landed on the core that wrote...
+        assert writer.aof_seconds >= INTEL_750_SSD.fsync
+        assert writer.clock.busy_seconds >= writer.aof_seconds
+        # ...and only there: the other core was not stopped.
+        assert reader.aof_seconds == 0.0
+        assert reader.clock.busy_seconds == reader_busy
+        assert pool.worker_rows()[1]["aof_seconds"] == writer.aof_seconds
+
+    def test_attribution_follows_the_last_writer(self):
+        server, (conn, _), pool, _ = self._aof_pool_server()
+        key_w0 = next(f"a{i}" for i in range(64)
+                      if slot_for_key(f"a{i}".encode()) % 2 == 0)
+        key_w1 = next(f"b{i}" for i in range(64)
+                      if slot_for_key(f"b{i}".encode()) % 2 == 1)
+        conn.send_command("SET", key_w1, "1")
+        conn.send_command("SET", key_w0, "2")   # worker 0 wrote last
+        server.scheduler.run_until_idle()
+        server.scheduler.schedule_after(1.5, lambda: None, label="work")
+        server.scheduler.run_until_idle()
+        assert pool.workers[0].aof_seconds >= INTEL_750_SSD.fsync
+        assert pool.workers[1].aof_seconds == 0.0
 
 
 class TestDeterminism:

@@ -363,6 +363,78 @@ def test_tiered_engine_indistinguishable_from_hot_only(base):
     assert tiered_engine.promotions > 0
 
 
+# -- tenant isolation --------------------------------------------------------
+
+# Two tenants sharing one store, deliberately using the *same* local key
+# names and the same subject name: the strongest aliasing case.  Tenant
+# A's views and rights fan-out must never observe tenant B -- on both
+# engines and through the tiered wrapper (same four factories).
+
+def _two_tenants(store):
+    from repro.tenancy import TenantStore
+    a = TenantStore(store, "acme")
+    b = TenantStore(store, "globex")
+    for number in range(3):
+        a.put(f"user:{number}", b"a-data", _meta("alice"))
+        b.put(f"user:{number}", b"b-data", _meta("alice"))
+    return a, b
+
+
+def test_tenant_keyspace_views_are_disjoint(gdpr_store):
+    a, b = _two_tenants(gdpr_store)
+    assert a.keys() == ["user:0", "user:1", "user:2"]
+    assert b.keys() == ["user:0", "user:1", "user:2"]
+    assert a.key_count() == b.key_count() == 3
+    # The shared engine really holds both namespaces...
+    assert gdpr_store.kv.key_count() == 6
+    # ...and the prefix views cut them apart exactly.
+    for key in gdpr_store.kv.live_keys_with_prefix("acme/"):
+        assert key.startswith(b"acme/")
+    assert gdpr_store.kv.key_count_with_prefix("acme/") == 3
+    # Values never bleed across the namespace boundary.
+    assert a.get("user:0").value == b"a-data"
+    assert b.get("user:0").value == b"b-data"
+
+
+def test_tenant_subject_indexes_are_disjoint(gdpr_store):
+    a, b = _two_tenants(gdpr_store)
+    assert a.keys_of_subject("alice") == ["user:0", "user:1", "user:2"]
+    assert b.keys_of_subject("alice") == ["user:0", "user:1", "user:2"]
+    assert a.subject_exists("alice") and b.subject_exists("alice")
+
+
+def test_tenant_access_report_stays_inside_the_tenant(gdpr_store):
+    a, _ = _two_tenants(gdpr_store)
+    report = a.access_report("alice")
+    assert len(report.records) == 3
+    for row in report.records:
+        assert row["key"].startswith("acme/")
+        assert not row["key"].startswith("globex/")
+
+
+def test_tenant_export_stays_inside_the_tenant(gdpr_store):
+    a, _ = _two_tenants(gdpr_store)
+    exported = a.export_subject("alice").decode("utf-8")
+    assert "acme/" in exported
+    assert "globex" not in exported
+
+
+def test_tenant_erasure_fanout_stops_at_the_boundary(gdpr_store):
+    a, b = _two_tenants(gdpr_store)
+    receipt = a.erase_subject("alice")
+    assert sorted(receipt.keys_erased) \
+        == ["acme/user:0", "acme/user:1", "acme/user:2"]
+    assert receipt.crypto_erased
+    assert not a.subject_exists("alice")
+    assert a.keys() == []
+    # Tenant B's same-named subject survives untouched and servable:
+    # its records seal under the distinct globex/alice data key.
+    assert b.subject_exists("alice")
+    assert b.keys() == ["user:0", "user:1", "user:2"]
+    for number in range(3):
+        assert b.get(f"user:{number}").value == b"b-data"
+
+
 # -- registry hygiene --------------------------------------------------------
 
 def test_register_engine_rejects_duplicate_name():

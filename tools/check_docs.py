@@ -59,6 +59,10 @@ REQUIRED_DOC_CONTENT = {
          "the dispatch rules, stop-the-world barrier semantics for the "
          "GDPR fan-out, the batching controller, and the autoscaler "
          "ladder the workers/autoscale layers are written against"),
+        ("## Multi-tenancy",
+         "the namespace / admission-gate / per-tenant-policy / "
+         "metering contract the tenancy layer and cluster boundary "
+         "are written against"),
     ],
     "docs/benchmarks.md": [
         ("### Reading the `replication` output",
@@ -84,6 +88,12 @@ REQUIRED_DOC_CONTENT = {
          "multi-core knee claim is unverifiable"),
         ("concurrency_workers.txt",
          "the committed workers-vs-ceiling artifact must stay "
+         "documented and regenerable"),
+        ("### Reading the `tenancy` output",
+         "the admitted/throttled/p99 columns need a reading guide or "
+         "the noisy-neighbour isolation claim is unverifiable"),
+        ("tenancy.txt",
+         "the committed quota-enforcement artifact must stay "
          "documented and regenerable"),
     ],
 }
