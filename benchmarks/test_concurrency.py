@@ -7,6 +7,8 @@ below the service-time ceiling, bent sharply upward past it -- rather
 than exact values, so recalibration cannot silently erase the knee.
 """
 
+import timeit
+
 from conftest import OPERATIONS, RECORDS, write_result
 
 from repro.bench.scaling import (
@@ -16,9 +18,13 @@ from repro.bench.scaling import (
     latency_vs_load,
     run_autoscale_demo,
     run_workers,
+    run_workers_skew,
     workers_ceiling_summary,
+    workers_skew_summary,
+    workers_skew_table,
     workers_table,
 )
+from repro.cluster.workers import RouteMemo, classify
 
 
 def test_hockey_stick_artifact(results_dir):
@@ -83,6 +89,57 @@ def test_workers_ceiling_artifact(results_dir):
     assert any("worker-raise" in row.actions for row in phases)
     assert any("scale-out" in row.actions for row in phases)
     assert phases[-1].shards_serving == 2
+
+
+def test_workers_skew_artifact(results_dir):
+    """The skew table: zipfian vs uniform knees, static slot%K vs
+    skew-aware placement.
+
+    The assertions pin this PR's headline: with placement on, the
+    4-core zipfian knee reaches >= 1.5x the static-partition zipfian
+    knee, driven by rebalances (and at least one read-split) that the
+    static rows never fire.
+    """
+    sweeps = run_workers_skew()
+    text = "\n".join([
+        workers_skew_table(sweeps), "",
+        workers_skew_summary(sweeps),
+    ])
+    write_result(results_dir, "concurrency_workers_skew.txt", text)
+
+    by_axis = {(sweep.cores, sweep.distribution, sweep.placement): sweep
+               for sweep in sweeps}
+    static = by_axis[(4, "zipfian", False)]
+    placed = by_axis[(4, "zipfian", True)]
+    uniform = by_axis[(4, "uniform", False)]
+    # The headline ratio: placement claws the skewed knee back up.
+    assert placed.knee >= 1.5 * static.knee
+    # ...but never past the no-skew control.
+    assert placed.knee <= uniform.knee
+    # The knee moved because the rebalancer (and the read-split rung)
+    # actually fired; the static partition never rebalances.
+    assert placed.rebalances > 0
+    assert placed.splits > 0
+    assert static.rebalances == 0 and uniform.rebalances == 0
+    # Single core is immune to placement: nothing to re-home.
+    assert by_axis[(1, "zipfian", True)].knee \
+        == by_axis[(1, "zipfian", False)].knee
+
+
+def test_route_memo_dispatch_overhead_did_not_regress():
+    """Micro-assert for the classify() memoization: the cached path must
+    beat recomputing the route, or the hot dispatch path regressed."""
+    request = [b"GET", b"user4000000000000000000"]
+    memo = RouteMemo()
+    assert memo.classify(request) == (classify(request), True)
+    raw = min(timeit.repeat(lambda: classify(request),
+                            number=5_000, repeat=5))
+    cached = min(timeit.repeat(lambda: memo.classify(request),
+                               number=5_000, repeat=5))
+    assert cached < raw
+    # And it actually was the cache: one miss to fill, hits ever after.
+    assert memo.misses == 1
+    assert memo.hits >= 25_000
 
 
 def test_default_rates_span_the_knee():

@@ -47,8 +47,11 @@ from .scaling import (
     run_resharding_sweep,
     run_scaling,
     run_workers,
+    run_workers_skew,
     scaling_table,
     workers_ceiling_summary,
+    workers_skew_summary,
+    workers_skew_table,
     workers_table,
 )
 from .table1 import build_comparison_text, headline_statistics
@@ -212,6 +215,26 @@ def run_workers_cmd(args: argparse.Namespace) -> None:
     print(autoscale_table(run_autoscale_demo()))
 
 
+def run_workers_skew_cmd(args: argparse.Namespace) -> None:
+    _print_header("Workers skew -- zipfian vs uniform knees, static "
+                  "slot%K vs skew-aware placement")
+    core_counts = ((1, 2, 4, 8) if args.full else (1, 2, 4)) \
+        if args.cores is None else (args.cores,)
+    sweeps = run_workers_skew(core_counts=core_counts,
+                              record_count=min(args.records, 44),
+                              operation_count=min(args.ops, 400))
+    print(workers_skew_table(sweeps))
+    print()
+    print(workers_skew_summary(sweeps))
+    print("\nTheta-0.99 zipfian over few keys piles most requests onto "
+          "one slot%K\npartition: the static knee stalls near the "
+          "single-core ceiling while siblings\nidle (see the per-core "
+          "q99 spread).  'place on' rows let the pool's\nrebalancer "
+          "re-home hot slots (greedy LPT) and read-split the hottest "
+          "one, so\nthe zipfian knee climbs back toward the uniform "
+          "control curve.")
+
+
 def run_replication_cmd(args: argparse.Namespace) -> None:
     _print_header("Replication -- per-shard replica groups, erasure "
                   "horizon across every copy")
@@ -340,6 +363,7 @@ EXPERIMENTS = {
     "resharding": run_resharding_cmd,
     "concurrency": run_concurrency_cmd,
     "workers": run_workers_cmd,
+    "workers_skew": run_workers_skew_cmd,
     "replication": run_replication_cmd,
     "backends": run_backends_cmd,
     "tiering": run_tiering_cmd,

@@ -44,7 +44,7 @@ time) exploding once the offered rate crosses that ceiling.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..cluster import (
@@ -419,6 +419,8 @@ def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
                     cores: Optional[int] = None,
                     adaptive_batch: bool = False,
                     dispatch_overhead: float = 0.0,
+                    request_distribution: Optional[str] = None,
+                    placement: bool = False,
                     seed: int = 42) -> List[Dict[str, float]]:
     """The classic open-loop "hockey stick": end-to-end latency vs
     offered load.
@@ -437,6 +439,12 @@ def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
     turns the per-worker batching controller on, and
     ``dispatch_overhead`` charges a fixed cost per dispatch so batching
     has something to amortize.
+
+    ``request_distribution`` overrides the workload's key popularity
+    ("zipfian" / "uniform" / "latest"; ``None`` keeps YCSB-B's default
+    zipfian), and ``placement=True`` turns on the pools' skew-aware
+    slot placement -- the default ``False`` keeps the static
+    ``slot % K`` partition and its results byte-for-byte.
     """
     rows = []
     for rate in rates:
@@ -444,20 +452,36 @@ def latency_vs_load(rates: Sequence[float] = DEFAULT_HOCKEY_RATES,
                                 latency=RAW_ONE_WAY_LATENCY,
                                 event_driven=True, workers=cores,
                                 adaptive_batch=adaptive_batch,
-                                dispatch_overhead=dispatch_overhead)
+                                dispatch_overhead=dispatch_overhead,
+                                placement=True if placement else None)
         spec = WORKLOAD_B.scaled(record_count=record_count,
                                  operation_count=operation_count)
+        if request_distribution is not None:
+            spec = replace(spec,
+                           request_distribution=request_distribution)
         runner = OpenLoopRunner(cluster, spec, clients=clients,
                                 arrival_rate=rate, seed=seed)
         runner.preload()
         report = runner.run(operation_count)
-        rows.append({
+        row = {
             "offered": rate,
             "completed_per_s": report.throughput,
             "p50_latency": report.latency.percentile(50),
             "p99_latency": report.latency.percentile(99),
             "max_backlog": float(report.max_backlog),
-        })
+        }
+        if cores is not None:
+            pools = [node.pool for node in cluster.nodes
+                     if node.pool is not None]
+            row["worker_q99"] = tuple(
+                worker["p99_queue_delay"]
+                for pool in pools for worker in pool.worker_rows())
+            row["rebalances"] = sum(
+                len(pool.rebalances) for pool in pools)
+            row["splits"] = sum(
+                len(event.split_slots)
+                for pool in pools for event in pool.rebalances)
+        rows.append(row)
     return rows
 
 
@@ -521,6 +545,16 @@ def run_workers(core_counts: Sequence[int] = (1, 2, 4),
             for cores in core_counts]
 
 
+def _per_core_q99(row: Dict[str, float]) -> str:
+    """Render a sweep row's per-worker queue-delay p99s (us) as a
+    compact ``a/b/...`` cell -- the column that makes skew imbalance
+    visible per core instead of hiding inside the pool-wide EWMA."""
+    delays = row.get("worker_q99")
+    if not delays:
+        return "-"
+    return "/".join(f"{delay * 1e6:.1f}" for delay in delays)
+
+
 def workers_table(sweeps: Sequence[WorkerSweep]) -> str:
     """Render all per-core hockey sticks into one table."""
     rows = []
@@ -532,10 +566,11 @@ def workers_table(sweeps: Sequence[WorkerSweep]) -> str:
                 round(row["p50_latency"] * 1e6, 1),
                 round(row["p99_latency"] * 1e6, 1),
                 int(row["max_backlog"]),
+                _per_core_q99(row),
             ])
     return render_table(
         ["cores", "batch", "offered/s", "ops/s", "p50 latency us",
-         "p99 latency us", "backlog"], rows)
+         "p99 latency us", "backlog", "q99 queue us/core"], rows)
 
 
 def workers_ceiling_summary(sweeps: Sequence[WorkerSweep]) -> str:
@@ -549,6 +584,132 @@ def workers_ceiling_summary(sweeps: Sequence[WorkerSweep]) -> str:
                  if base > 0 else "-")
         lines.append(f"  cores={sweep.cores}: "
                      f"{int(sweep.knee):>7} ops/s  ({scale})")
+    return "\n".join(lines)
+
+
+SKEW_RECORD_COUNT = 44   # few enough keys that theta-0.99 zipfian
+#                          piles >50% of requests onto one 4-core
+#                          partition -- the skew the placement layer
+#                          exists to fix
+
+
+@dataclass
+class SkewSweep:
+    """One (cores, distribution, placement) hockey stick of the skew
+    sweep."""
+
+    cores: int
+    distribution: str        # "zipfian" | "uniform"
+    placement: bool
+    rows: List[Dict[str, float]]
+
+    @property
+    def knee(self) -> float:
+        """Same saturation knee as :class:`WorkerSweep`."""
+        good = [row["offered"] for row in self.rows
+                if row["p99_latency"] <= KNEE_P99_CEILING]
+        return max(good) if good else 0.0
+
+    @property
+    def rebalances(self) -> int:
+        """Rebalance events fired across every rate of the sweep."""
+        return sum(int(row.get("rebalances", 0)) for row in self.rows)
+
+    @property
+    def splits(self) -> int:
+        """Hot slots read-split across every rate of the sweep."""
+        return sum(int(row.get("splits", 0)) for row in self.rows)
+
+
+def run_workers_skew(core_counts: Sequence[int] = (1, 2, 4),
+                     rates: Sequence[float] = DEFAULT_WORKER_RATES,
+                     clients: int = 32, adaptive_batch: bool = True,
+                     record_count: int = SKEW_RECORD_COUNT,
+                     operation_count: int = 400,
+                     seed: int = 42) -> List[SkewSweep]:
+    """The skew axis: zipfian vs uniform knees, static vs placed.
+
+    Three curves per worker count over the same arrival rates:
+
+    * **zipfian / static** -- theta-0.99 key popularity over the fixed
+      ``slot % K`` partition.  One hot slot pins one core while its
+      siblings idle, so the knee barely moves past the single-core
+      ceiling;
+    * **zipfian / placed** -- same stream with skew-aware placement on:
+      the pool's :class:`~repro.cluster.workers.Rebalancer` re-homes
+      hot slots (greedy LPT) and read-splits the hottest one, pushing
+      the knee back toward the uniform curve;
+    * **uniform / static** -- the no-skew control the placed zipfian
+      curve should approach.
+    """
+    sweeps = []
+    for cores in core_counts:
+        for distribution, placement in (("zipfian", False),
+                                        ("zipfian", True),
+                                        ("uniform", False)):
+            sweeps.append(SkewSweep(
+                cores=cores, distribution=distribution,
+                placement=placement,
+                rows=latency_vs_load(
+                    rates=rates, clients=clients,
+                    record_count=record_count,
+                    operation_count=operation_count,
+                    cores=cores, adaptive_batch=adaptive_batch,
+                    request_distribution=distribution,
+                    placement=placement, seed=seed)))
+    return sweeps
+
+
+def workers_skew_table(sweeps: Sequence[SkewSweep]) -> str:
+    """Render the skew sweep: every curve, with per-core q99 and the
+    rebalance/split activity that produced it."""
+    rows = []
+    for sweep in sweeps:
+        for row in sweep.rows:
+            rows.append([
+                sweep.cores, sweep.distribution,
+                "on" if sweep.placement else "off",
+                int(row["offered"]), round(row["completed_per_s"], 1),
+                round(row["p99_latency"] * 1e6, 1),
+                int(row["max_backlog"]),
+                _per_core_q99(row),
+                int(row.get("rebalances", 0)),
+                int(row.get("splits", 0)),
+            ])
+    return render_table(
+        ["cores", "dist", "place", "offered/s", "ops/s",
+         "p99 latency us", "backlog", "q99 queue us/core", "rebal",
+         "split"], rows)
+
+
+def workers_skew_summary(sweeps: Sequence[SkewSweep]) -> str:
+    """Headline: per-core-count knees by axis, the placed/static
+    zipfian ratio, and total rebalancer activity."""
+    lines = [f"saturation knee (highest offered rate with p99 <= "
+             f"{KNEE_P99_CEILING * 1e3:.1f} ms):"]
+    core_counts = sorted({sweep.cores for sweep in sweeps})
+    by_axis = {(sweep.cores, sweep.distribution, sweep.placement): sweep
+               for sweep in sweeps}
+    for cores in core_counts:
+        static = by_axis.get((cores, "zipfian", False))
+        placed = by_axis.get((cores, "zipfian", True))
+        uniform = by_axis.get((cores, "uniform", False))
+        parts = []
+        if static is not None:
+            parts.append(f"zipf static {int(static.knee):>7}")
+        if placed is not None:
+            parts.append(f"zipf placed {int(placed.knee):>7}")
+        if uniform is not None:
+            parts.append(f"uniform {int(uniform.knee):>7}")
+        lines.append(f"  cores={cores}: " + "  ".join(parts))
+        if (static is not None and placed is not None
+                and static.knee > 0):
+            lines.append(f"    placed/static zipfian ratio: "
+                         f"{placed.knee / static.knee:.2f}x")
+    fired = sum(sweep.rebalances for sweep in sweeps)
+    split = sum(sweep.splits for sweep in sweeps)
+    lines.append(f"rebalances fired: {fired} (slots read-split: "
+                 f"{split})")
     return "\n".join(lines)
 
 

@@ -62,10 +62,17 @@ from .slots import (
     MigrationState,
     NUM_SLOTS,
     SlotMap,
+    SlotPlacement,
     hash_tag,
     slot_for_key,
 )
-from .workers import WorkerPool, WorkerPoolConfig
+from .workers import (
+    PlacementPolicy,
+    RebalanceEvent,
+    Rebalancer,
+    WorkerPool,
+    WorkerPoolConfig,
+)
 
 __all__ = [
     "NUM_SLOTS",
@@ -94,6 +101,10 @@ __all__ = [
     "ShardedErasureReceipt",
     "WorkerPool",
     "WorkerPoolConfig",
+    "PlacementPolicy",
+    "Rebalancer",
+    "RebalanceEvent",
+    "SlotPlacement",
     "Autoscaler",
     "AutoscaleConfig",
     "AutoscaleEvent",

@@ -12,9 +12,14 @@ alive on its own.
 Escalation ladder, per target, rate-limited by a cooldown:
 
 1. the EWMA crosses :attr:`AutoscaleConfig.high_delay` and the target
-   has worker headroom -> **raise the worker count** (a live
-   ``add_worker()``, applied at the pool's next quiescent instant);
-2. the target is already at :attr:`AutoscaleConfig.max_workers` and is
+   runs skew-aware placement with a measurable core imbalance ->
+   **rebalance** first (``request_rebalance()`` re-homes hot slots at
+   the pool's next quiescent instant) -- cheaper than adding a core
+   when the problem is placement, not capacity;
+2. otherwise, if the target has worker headroom -> **raise the worker
+   count** (a live ``add_worker()``, applied at the pool's next
+   quiescent instant);
+3. the target is already at :attr:`AutoscaleConfig.max_workers` and is
    still hot -> invoke the **scale-out hook** (shard-add + live
    ``rebalance()`` under load -- see
    :meth:`ShardedGDPRStore.attach_autoscaler
@@ -59,7 +64,8 @@ class AutoscaleEvent:
 
     at: float
     target: int
-    action: str                # "worker-raise", "worker-shed", "scale-out"
+    action: str        # "rebalance", "worker-raise", "worker-shed",
+    #                    "scale-out"
     signal: float                    # the EWMA that triggered it
     detail: str = ""
 
@@ -142,7 +148,12 @@ class Autoscaler:
             else:
                 add_worker = getattr(target, "add_worker", None)
                 workers = getattr(target, "num_workers", 0)
-                if add_worker is not None \
+                rebalance = getattr(target, "request_rebalance", None)
+                if rebalance is not None and rebalance():
+                    event = AutoscaleEvent(
+                        now, index, "rebalance", signal,
+                        detail="hot-slot re-home at quiescence")
+                elif add_worker is not None \
                         and workers < self.config.max_workers:
                     heading_for = add_worker()
                     event = AutoscaleEvent(

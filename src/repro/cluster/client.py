@@ -921,6 +921,7 @@ def build_cluster(num_shards: int,
                   dispatch_overhead: float = 0.0,
                   adaptive_batch: bool = False,
                   max_batch: int = 32,
+                  placement=None,
                   tenant_gate=None) -> ClusterClient:
     """Wire up a ready-to-use cluster.
 
@@ -937,7 +938,11 @@ def build_cluster(num_shards: int,
     ``node.pool``.  ``workers=None`` (the default) keeps the classic
     single-loop dispatch byte-for-byte.  ``dispatch_overhead`` /
     ``adaptive_batch`` / ``max_batch`` parameterize the pool's batching
-    controller.
+    controller.  ``placement=True`` (or an explicit
+    :class:`~repro.cluster.workers.PlacementPolicy`) turns on
+    skew-aware slot placement -- hot-slot tracking, quiescence-point
+    rebalancing and read splitting -- per pool; the default ``None``
+    keeps the static ``slot % K`` partition byte-for-byte.
 
     Otherwise ``parallel=True`` (the default) gives each shard its own
     clock so batches cost max-over-shards time; ``parallel=False`` shares
@@ -984,12 +989,19 @@ def build_cluster(num_shards: int,
         if tenant_gate is not None:
             node.server.attach_tenant_gate(tenant_gate)
         if workers is not None:
-            from .workers import WorkerPool, WorkerPoolConfig
+            from .workers import (
+                PlacementPolicy, WorkerPool, WorkerPoolConfig)
+            policy = None
+            if placement is not None and placement is not False:
+                policy = placement if isinstance(placement,
+                                                 PlacementPolicy) \
+                    else PlacementPolicy()
             pool = WorkerPool(node_clock, WorkerPoolConfig(
                 workers=workers,
                 dispatch_overhead=dispatch_overhead,
                 adaptive_batch=adaptive_batch,
-                max_batch=max_batch))
+                max_batch=max_batch,
+                placement=policy))
             node.server.attach_workers(pool)
             node.pool = pool
         nodes.append(node)

@@ -237,3 +237,102 @@ class SlotMap:
     def assign_range(self, start: int, end: int, shard: int) -> int:
         """Move the slot range [start, end) to ``shard``."""
         return self.assign(range(start, end), shard)
+
+
+class SlotPlacement:
+    """Dynamic slot -> worker table for one shard's worker pool.
+
+    The worker pool's default partition is static -- slot ``s`` belongs
+    to worker ``s % K`` -- which leaves one core pinned whenever a
+    zipfian-hot slot lands on it.  A ``SlotPlacement`` overlays that
+    default with two kinds of exceptions, both maintained by the pool's
+    rebalancer:
+
+    * **overrides** -- a hot slot explicitly re-homed to a different
+      worker (``assign``); per-key operations still serialize on exactly
+      one core, it is just no longer ``s % K``;
+    * **splits** -- the degenerate single-hot-slot case: the slot's
+      *read-only* commands may fan across a set of workers
+      (``split``), while its writes stay pinned to the slot's home
+      worker, preserving the single-writer invariant.
+
+    A worker-count change invalidates everything: the default mapping
+    itself re-partitions, so :meth:`resize` drops all overrides and
+    splits and bumps :attr:`version` (route caches key off it).
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("a placement needs at least one worker")
+        self.num_workers = num_workers
+        self.version = 0
+        self._overrides: Dict[int, int] = {}
+        self._splits: Dict[int, tuple] = {}
+
+    def worker_of_slot(self, slot: int) -> int:
+        """The slot's home worker: override if present, else
+        ``slot % num_workers``.  Writes always land here."""
+        home = self._overrides.get(slot)
+        return home if home is not None else slot % self.num_workers
+
+    def split_of_slot(self, slot: int) -> Optional[tuple]:
+        """The worker set a split slot's reads may fan over (``None``
+        when the slot is not split)."""
+        return self._splits.get(slot)
+
+    @property
+    def overrides(self) -> Dict[int, int]:
+        return dict(self._overrides)
+
+    @property
+    def splits(self) -> Dict[int, tuple]:
+        return dict(self._splits)
+
+    def assign(self, slot: int, worker: int) -> None:
+        """Re-home ``slot`` to ``worker`` (reverting to the default
+        mapping when they already agree)."""
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        if not 0 <= worker < self.num_workers:
+            raise ClusterError(f"unknown worker {worker}")
+        if worker == slot % self.num_workers:
+            self._overrides.pop(slot, None)
+        else:
+            self._overrides[slot] = worker
+        self.version += 1
+
+    def split(self, slot: int, workers: Sequence[int]) -> None:
+        """Fan ``slot``'s read-only commands over ``workers`` (its home
+        worker is always included, so a read can still ride the core
+        that serializes the slot's writes)."""
+        if not 0 <= slot < NUM_SLOTS:
+            raise ClusterError(f"slot {slot} out of range")
+        fan = sorted(set(workers) | {self.worker_of_slot(slot)})
+        if any(not 0 <= worker < self.num_workers for worker in fan):
+            raise ClusterError(f"split workers {list(workers)} out of range")
+        if len(fan) < 2:
+            raise ClusterError("a split needs at least two workers")
+        self._splits[slot] = tuple(fan)
+        self.version += 1
+
+    def unsplit(self, slot: int) -> None:
+        if self._splits.pop(slot, None) is not None:
+            self.version += 1
+
+    def clear(self) -> None:
+        """Drop every override and split (back to pure ``slot % K``)."""
+        if self._overrides or self._splits:
+            self._overrides.clear()
+            self._splits.clear()
+            self.version += 1
+
+    def resize(self, num_workers: int) -> None:
+        """The pool's worker count changed: the default mapping
+        re-partitions, so every override and split is stale.  Drops
+        them all and bumps :attr:`version`."""
+        if num_workers < 1:
+            raise ValueError("a placement needs at least one worker")
+        self.num_workers = num_workers
+        self._overrides.clear()
+        self._splits.clear()
+        self.version += 1

@@ -15,6 +15,20 @@ Dispatch rules (single-writer semantics by construction):
   worker ``s % K``.  Every command touching a key is executed by that
   key's worker, so per-key operations stay serialized on one core and
   two identical runs pick identical workers;
+* **skew-aware placement** (opt-in via
+  :attr:`WorkerPoolConfig.placement`) -- the static ``s % K`` partition
+  becomes only the *default* of a
+  :class:`~repro.cluster.slots.SlotPlacement` table.  Per-slot billed
+  service time (the shard clock's per-slot billing hook) feeds a
+  decaying load accounting plus a cheap top-N hot-slot tracker, and a
+  :class:`Rebalancer` -- applied at quiescence, exactly like a live
+  worker raise -- re-homes hot slots onto the least-loaded cores with a
+  greedy longest-processing-time pass.  When one slot alone exceeds a
+  fair core share, its *read-only* commands (the
+  :data:`~repro.cluster.client.REPLICA_READ_COMMANDS` classification
+  replica routing already uses) are **split** across several cores
+  while its writes stay pinned to the slot's home worker -- single
+  writer by construction, reads fanned where the capacity is;
 * **per-connection FIFO** -- only the *head* of a connection's queue is
   dispatchable (head-of-line blocking, as on a real connection), so
   RESP replies depart in request order;
@@ -49,10 +63,11 @@ from ..common.clock import ShardClock, SimClock, WorkerClock
 from ..common.histogram import LatencyHistogram
 from .client import (
     BROADCAST_COMMANDS,
+    REPLICA_READ_COMMANDS,
     UNROUTABLE_COMMANDS,
     command_keys,
 )
-from .slots import slot_for_key
+from .slots import SlotPlacement, slot_for_key
 
 # Keyless commands that scan or rewrite the whole keyspace: these cannot
 # ride a single core.  (The rest of KEYLESS_COMMANDS -- PING, CONFIG,
@@ -90,18 +105,107 @@ def classify(request: Any):
     return tuple(sorted(slots))
 
 
-def worker_for(route, num_workers: int) -> int:
-    """Resolve a routing token to a worker index (or :data:`BARRIER`)."""
+def route_workers(route, num_workers: int,
+                  placement: Optional[SlotPlacement] = None,
+                  readonly: bool = False) -> Tuple[int, ...]:
+    """Resolve a routing token to its candidate worker indices.
+
+    A singleton tuple in the common case; a read on a split hot slot
+    returns the slot's whole read fan (any member may serve it, writes
+    never do); a cross-worker multi-key command returns
+    ``(BARRIER,)``.  Without a placement table this is exactly the
+    static ``slot % num_workers`` partition."""
     if route == ROUTE_CONTROL:
-        return 0
+        return (0,)
     if route == ROUTE_BARRIER:
-        return BARRIER
+        return (BARRIER,)
     if isinstance(route, int):
-        return route % num_workers
-    workers = {slot % num_workers for slot in route}
+        if placement is None:
+            return (route % num_workers,)
+        if readonly:
+            fan = placement.split_of_slot(route)
+            if fan is not None:
+                return fan
+        return (placement.worker_of_slot(route),)
+    if placement is None:
+        workers = {slot % num_workers for slot in route}
+    else:
+        workers = {placement.worker_of_slot(slot) for slot in route}
     if len(workers) == 1:
-        return workers.pop()
-    return BARRIER                # cross-worker multi-key command
+        return (workers.pop(),)
+    return (BARRIER,)             # cross-worker multi-key command
+
+
+def worker_for(route, num_workers: int) -> int:
+    """Resolve a routing token to a single worker index (or
+    :data:`BARRIER`) under the static partition -- the legacy entry
+    point; placement-aware callers use :func:`route_workers`."""
+    return route_workers(route, num_workers)[0]
+
+
+class RouteMemo:
+    """Memoize :func:`classify` for the hot dispatch path.
+
+    ``classify`` hashes every key (CRC16) and builds a fresh slot set
+    per request; under load the same few commands repeat, so a small
+    keyed cache -- ``(command, key args) -> (route, readonly)`` --
+    skips that work.  Routing tokens are worker-count independent, so
+    this cache never needs invalidating; the *resolved worker* cache in
+    :class:`WorkerPool` is the one dropped on a worker-count change.
+    The readonly flag (is this one of the
+    :data:`~repro.cluster.client.REPLICA_READ_COMMANDS`?) rides along
+    because split-read routing needs it at the same point."""
+
+    __slots__ = ("limit", "hits", "misses", "_cache")
+
+    def __init__(self, limit: int = 1024) -> None:
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._cache: Dict[Tuple, Tuple[Any, bool]] = {}
+
+    def classify(self, request: Any) -> Tuple[Any, bool]:
+        """``(routing token, readonly)`` for a parsed request; the token
+        is exactly what :func:`classify` returns."""
+        if (not isinstance(request, list) or not request
+                or not all(isinstance(a, bytes) for a in request)):
+            return ROUTE_CONTROL, False
+        name = request[0].upper()
+        if name in GLOBAL_COMMANDS:
+            return ROUTE_BARRIER, False
+        keys = command_keys(request)
+        if not keys:
+            return ROUTE_CONTROL, False
+        key = (name, tuple(keys))
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = (classify(request), name in REPLICA_READ_COMMANDS)
+        if len(self._cache) >= self.limit:
+            # Tiny and rare: a wholesale reset beats LRU bookkeeping.
+            self._cache.clear()
+        self._cache[key] = entry
+        return entry
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Knobs for skew-aware slot placement (the :class:`Rebalancer`).
+
+    Loads are billed service seconds per slot, accumulated O(1) at
+    dispatch and decayed by ``slot_load_decay`` every
+    ``rebalance_interval`` -- an interval-stepped EWMA, so a slot that
+    cools down stops looking hot.  A rebalance arms when the busiest
+    core carries more than ``imbalance_threshold`` times the mean core
+    load, and applies at the pool's next quiescent instant."""
+
+    slot_load_decay: float = 0.5     # per-interval load EWMA decay
+    hot_slots: int = 8               # top-N hot-slot tracker size
+    rebalance_interval: float = 5e-4  # seconds between imbalance checks
+    imbalance_threshold: float = 1.2  # max/mean core load that arms
+    split_ways: int = 0              # read fan of a split slot (0 = all)
 
 
 @dataclass
@@ -110,7 +214,9 @@ class WorkerPoolConfig:
 
     ``dispatch_overhead`` is the fixed per-dispatch cost a worker pays
     before executing its batch (scheduling/wakeup cost on a real core);
-    adaptive batching exists to amortize it.
+    adaptive batching exists to amortize it.  ``placement`` switches the
+    static ``slot % K`` partition to the skew-aware placement layer
+    (``None``, the default, keeps the static partition byte-for-byte).
     """
 
     workers: int = 1
@@ -120,6 +226,146 @@ class WorkerPoolConfig:
     max_batch: int = 32
     batch_low_delay: float = 50e-6   # head delay below which B decays
     ewma_alpha: float = 0.05         # queueing-delay EWMA smoothing
+    placement: Optional[PlacementPolicy] = None
+
+
+@dataclass
+class RebalanceEvent:
+    """One applied placement change, for demos and assertions."""
+
+    at: float
+    moved: int                 # hot slots re-homed off their default
+    split_slots: Tuple[int, ...]   # slots with read fans in effect
+    detail: str = ""
+
+
+class Rebalancer:
+    """Per-slot load accounting + greedy LPT placement of hot slots.
+
+    :meth:`note` is the O(1) dispatch-path update: it accumulates a
+    command's billed seconds under its slot and maintains the top-N
+    hot-slot tracker.  :meth:`maybe_arm` runs at most once per
+    ``rebalance_interval`` and reports whether core loads have drifted
+    past the imbalance threshold; the pool then applies :meth:`apply`
+    at its next quiescent instant (the same discipline as a live worker
+    raise -- re-homing a slot under a running command would break
+    single-writer semantics).
+
+    ``apply`` is greedy longest-processing-time: cold slots keep their
+    default ``slot % K`` homes (their summed load is each core's
+    residual), then hot slots land heaviest-first on the currently
+    least-loaded core.  If the hottest slot alone exceeds a fair core
+    share -- the degenerate case no re-homing can fix -- its read-only
+    commands are split across the least-loaded cores while writes stay
+    pinned."""
+
+    def __init__(self, placement: SlotPlacement,
+                 policy: Optional[PlacementPolicy] = None) -> None:
+        self.placement = placement
+        self.policy = policy or PlacementPolicy()
+        self.loads: Dict[int, float] = {}       # slot -> decayed seconds
+        self.hot: Dict[int, float] = {}         # top-N subset of loads
+        self.events: List[RebalanceEvent] = []
+        self._last_check = 0.0
+
+    # -- dispatch-path accounting (O(1)) ------------------------------------
+
+    def note(self, slot: int, billed: float) -> None:
+        if billed <= 0.0:
+            return
+        load = self.loads.get(slot, 0.0) + billed
+        self.loads[slot] = load
+        hot = self.hot
+        if slot in hot or len(hot) < self.policy.hot_slots:
+            hot[slot] = load
+            return
+        coldest = min(hot, key=hot.get)
+        if load > hot[coldest]:
+            del hot[coldest]
+            hot[slot] = load
+
+    # -- the arm/apply cycle ------------------------------------------------
+
+    def maybe_arm(self, now: float) -> bool:
+        """At most once per interval: decay the load EWMAs and report
+        whether the current placement is imbalanced enough to rebalance."""
+        if now - self._last_check < self.policy.rebalance_interval:
+            return False
+        self._last_check = now
+        armed = self.imbalanced()
+        decay = self.policy.slot_load_decay
+        for slot in self.loads:
+            self.loads[slot] *= decay
+        for slot in self.hot:
+            self.hot[slot] *= decay
+        return armed
+
+    def imbalanced(self) -> bool:
+        """Is the busiest core past ``imbalance_threshold`` x the mean?
+        Split slots count as spreading their load over their read fan."""
+        per_core = self.core_loads()
+        if per_core is None:
+            return False
+        mean = sum(per_core) / len(per_core)
+        return mean > 0.0 and max(per_core) > \
+            self.policy.imbalance_threshold * mean
+
+    def core_loads(self) -> Optional[List[float]]:
+        """Tracked load per core under the current placement (``None``
+        when there is nothing to balance)."""
+        count = self.placement.num_workers
+        if count < 2 or not self.loads:
+            return None
+        per_core = [0.0] * count
+        for slot, load in self.loads.items():
+            fan = self.placement.split_of_slot(slot)
+            if fan is not None:
+                share = load / len(fan)
+                for worker in fan:
+                    per_core[worker] += share
+            else:
+                per_core[self.placement.worker_of_slot(slot)] += load
+        return per_core
+
+    def apply(self, now: float) -> Optional[RebalanceEvent]:
+        """Recompute the placement table (call only at quiescence)."""
+        count = self.placement.num_workers
+        if count < 2 or not self.loads:
+            return None
+        hot = sorted(self.hot.items(), key=lambda item: (-item[1], item[0]))
+        hot_slots = {slot for slot, _ in hot}
+        residual = [0.0] * count
+        for slot, load in self.loads.items():
+            if slot not in hot_slots:
+                residual[slot % count] += load
+        self.placement.clear()
+        moved = 0
+        for slot, load in hot:
+            target = min(range(count),
+                         key=lambda worker: (residual[worker], worker))
+            residual[target] += load
+            self.placement.assign(slot, target)
+            if target != slot % count:
+                moved += 1
+        split_slots: Tuple[int, ...] = ()
+        total = sum(self.loads.values())
+        if hot and total > 0.0:
+            top_slot, top_load = hot[0]
+            if top_load > total / count:
+                # No re-homing can dilute a slot heavier than a fair
+                # core share: fan its reads out instead.
+                ways = self.policy.split_ways or count
+                fan = sorted(range(count),
+                             key=lambda worker: (residual[worker],
+                                                 worker))[:max(2, ways)]
+                self.placement.split(top_slot, fan)
+                split_slots = (top_slot,)
+        event = RebalanceEvent(
+            at=now, moved=moved, split_slots=split_slots,
+            detail=f"hot={len(hot)} moved={moved} "
+                   f"split={list(split_slots)}")
+        self.events.append(event)
+        return event
 
 
 class _WorkerState:
@@ -141,14 +387,17 @@ class _WorkerState:
 
 class _ConnState:
     """Per-connection intake bookkeeping, parallel to ``conn.pending``:
-    one ``(arrival time, route)`` entry per queued request, plus the
-    count of dispatched-but-unflushed commands (replies flush only when
-    it returns to zero, preserving RESP reply order)."""
+    one ``(arrival time, route, readonly)`` entry per queued request,
+    plus the count of dispatched-but-unflushed commands (replies flush
+    only when it returns to zero, preserving RESP reply order -- the
+    same FIFO head that keeps split-read routes in order, since a later
+    command only dispatches after the head popped and flushes only once
+    every in-flight command on the connection completed)."""
 
     __slots__ = ("intake", "outstanding")
 
     def __init__(self) -> None:
-        self.intake: Deque[Tuple[float, Any]] = deque()
+        self.intake: Deque[Tuple[float, Any, bool]] = deque()
         self.outstanding = 0
 
 
@@ -181,6 +430,17 @@ class WorkerPool:
         self.retired: List[_WorkerState] = []
         self.barrier_commands = 0
         self.resizes: List[Tuple[float, int]] = []  # (time, new count)
+        self.route_memo = RouteMemo()
+        self.placement: Optional[SlotPlacement] = None
+        self.rebalancer: Optional[Rebalancer] = None
+        self._rebalance_pending = False
+        # route token -> candidate workers; stale whenever the worker
+        # count or the placement table changes, so those paths clear it.
+        self._worker_cache: Dict[Tuple[Any, bool], Tuple[int, ...]] = {}
+        if self.config.placement is not None:
+            self.placement = SlotPlacement(self.config.workers)
+            self.rebalancer = Rebalancer(self.placement,
+                                         self.config.placement)
 
     # -- wiring -------------------------------------------------------------
 
@@ -201,7 +461,8 @@ class WorkerPool:
             # now, routed normally.
             while len(state.intake) < len(conn.pending):
                 request = conn.pending[len(state.intake)]
-                state.intake.append((now, classify(request)))
+                route, readonly = self.route_memo.classify(request)
+                state.intake.append((now, route, readonly))
 
     def _state(self, conn) -> _ConnState:
         state = self._states.get(id(conn))
@@ -218,7 +479,8 @@ class WorkerPool:
         state = self._state(conn)
         start = len(conn.pending) - count
         for index in range(start, len(conn.pending)):
-            state.intake.append((now, classify(conn.pending[index])))
+            route, readonly = self.route_memo.classify(conn.pending[index])
+            state.intake.append((now, route, readonly))
 
     # -- scheduling ---------------------------------------------------------
 
@@ -240,6 +502,18 @@ class WorkerPool:
 
     # -- dispatch -----------------------------------------------------------
 
+    def _resolve(self, route, readonly: bool) -> Tuple[int, ...]:
+        """Candidate workers for a routing token, memoized: the cache is
+        dropped whenever the worker count or the placement table changes
+        (a cached route must re-partition after a raise or shed)."""
+        key = (route, readonly)
+        cached = self._worker_cache.get(key)
+        if cached is None:
+            cached = route_workers(route, len(self.workers),
+                                   self.placement, readonly)
+            self._worker_cache[key] = cached
+        return cached
+
     def _pump(self) -> None:
         """Dispatch every eligible head-of-queue command to a free worker
         (round-robin over connections), then schedule the next tick at
@@ -247,6 +521,8 @@ class WorkerPool:
         now = self.scheduler.now()
         if (self._resize_pending or self._shed_pending) \
                 and not self._apply_resize(now):
+            return                      # re-wakes itself at quiescence
+        if self._rebalance_pending and not self._apply_rebalance(now):
             return                      # re-wakes itself at quiescence
         progress = True
         while progress:
@@ -258,8 +534,9 @@ class WorkerPool:
                 if not conn.pending:
                     continue
                 state = self._state(conn)
-                _, route = state.intake[0]
-                target = worker_for(route, len(self.workers))
+                _, route, readonly = state.intake[0]
+                candidates = self._resolve(route, readonly)
+                target = candidates[0]
                 if target == BARRIER:
                     if any(w.clock.now() > now for w in self.workers):
                         continue
@@ -267,11 +544,20 @@ class WorkerPool:
                     self._dispatch_barrier(conn, state, now)
                     progress = True
                     break
-                worker = self.workers[target]
-                if worker.clock.now() > now:
+                if len(candidates) > 1:
+                    # A split-read fan: any free member may serve it;
+                    # prefer the least-busy core so the fan balances.
+                    free = [w for w in candidates
+                            if self.workers[w].clock.now() <= now]
+                    if not free:
+                        continue
+                    target = min(
+                        free, key=lambda w:
+                        (self.workers[w].clock.busy_seconds, w))
+                elif self.workers[target].clock.now() > now:
                     continue            # that core is mid-service
                 self._rr_cursor = (index + 1) % len(conns)
-                self._dispatch(worker, target, index, now)
+                self._dispatch(self.workers[target], target, index, now)
                 progress = True
                 break
         self._schedule_followup(now)
@@ -284,7 +570,8 @@ class WorkerPool:
         limit = worker.batch if self.config.adaptive_batch \
             else self.config.min_batch
         conns = self.server.connections
-        batch: List[Tuple[Any, Any, float]] = []   # (conn, request, arrival)
+        # (conn, request, arrival, route)
+        batch: List[Tuple[Any, Any, float, Any]] = []
         while len(batch) < limit:
             took = False
             for offset in range(len(conns)):
@@ -292,11 +579,12 @@ class WorkerPool:
                 if not conn.pending:
                     continue
                 state = self._state(conn)
-                if worker_for(state.intake[0][1], len(self.workers)) \
-                        != target:
+                head = state.intake[0]
+                if target not in self._resolve(head[1], head[2]):
                     continue
-                arrival, _ = state.intake.popleft()
-                batch.append((conn, conn.pending.popleft(), arrival))
+                arrival, route, _ = state.intake.popleft()
+                batch.append((conn, conn.pending.popleft(), arrival,
+                              route))
                 state.outstanding += 1
                 took = True
                 if len(batch) == limit:
@@ -308,21 +596,28 @@ class WorkerPool:
         if self.config.dispatch_overhead:
             worker.clock.advance(self.config.dispatch_overhead)
         aof = getattr(self.server.store, "aof", None)
-        for conn, request, arrival in batch:
+        rebalancer = self.rebalancer
+        for conn, request, arrival, route in batch:
             self._note_delay(worker, now - arrival)
             began = worker.clock.now()
             written = aof.records_written if aof is not None else 0
-            self.shard_clock.activate(worker.clock)
+            slot = route if (rebalancer is not None
+                             and isinstance(route, int)) else None
+            self.shard_clock.activate(worker.clock, slot=slot)
             try:
                 self.server._serve(conn, request)
             finally:
-                self.shard_clock.release()
+                billed = self.shard_clock.release()
+            if slot is not None:
+                rebalancer.note(slot, billed)
             if aof is not None and aof.records_written > written:
                 self._last_aof_writer = worker
             worker.service_time.record(worker.clock.now() - began)
             worker.commands += 1
             self.server.loop_iterations += 1
         worker.dispatches += 1
+        if rebalancer is not None and rebalancer.maybe_arm(now):
+            self._rebalance_pending = True
         self.scheduler.schedule_at(
             worker.clock.now(), lambda batch=batch: self._complete(batch),
             label="worker-reply")
@@ -330,7 +625,7 @@ class WorkerPool:
     def _dispatch_barrier(self, conn, state: _ConnState, now: float) -> None:
         """Run a whole-keyspace command: every core stops, the command's
         cost is charged to all of them, replies depart at the frontier."""
-        arrival, _ = state.intake.popleft()
+        arrival, _, _ = state.intake.popleft()
         request = conn.pending.popleft()
         state.outstanding += 1
         for worker in self.workers:
@@ -345,7 +640,9 @@ class WorkerPool:
         self.barrier_commands += 1
         self.server.loop_iterations += 1
         self.scheduler.schedule_at(
-            finish, lambda: self._complete([(conn, request, arrival)]),
+            finish,
+            lambda: self._complete([(conn, request, arrival,
+                                     ROUTE_BARRIER)]),
             label="worker-reply")
 
     def _tune_batch(self, worker: _WorkerState, batch, limit: int,
@@ -370,7 +667,7 @@ class WorkerPool:
         """A batch's service time elapsed: its replies (buffered in
         request order) may now leave the NIC.  A connection flushes only
         once nothing it sent is still in service."""
-        for conn, _, _ in batch:
+        for conn, _, _, _ in batch:
             self._state(conn).outstanding -= 1
         for conn in self.server.connections:
             if self._state(conn).outstanding:
@@ -389,12 +686,13 @@ class WorkerPool:
         for conn in self.server.connections:
             if not conn.pending:
                 continue
-            _, route = self._state(conn).intake[0]
-            target = worker_for(route, len(self.workers))
-            if target == BARRIER:
+            _, route, readonly = self._state(conn).intake[0]
+            candidates = self._resolve(route, readonly)
+            if candidates[0] == BARRIER:
                 when = max(w.clock.now() for w in self.workers)
             else:
-                when = self.workers[target].clock.now()
+                when = min(self.workers[w].clock.now()
+                           for w in candidates)
             when = max(when, now)
             if earliest is None or when < earliest:
                 earliest = when
@@ -472,7 +770,50 @@ class WorkerPool:
         self._resize_pending = 0
         self._shed_pending = 0
         self.resizes.append((now, len(self.workers)))
+        # The worker count changed: the default slot partition (and any
+        # placement overrides built on top of it) re-partitions, so
+        # every cached route resolution is stale.
+        if self.placement is not None:
+            self.placement.resize(len(self.workers))
+        self._worker_cache.clear()
         return True
+
+    # -- skew-aware rebalancing ---------------------------------------------
+
+    def request_rebalance(self) -> bool:
+        """Ask for a placement rebalance (the autoscaler's first rung).
+        Returns whether one was actually armed: ``False`` without a
+        placement layer, with one already pending, or when core loads
+        are currently balanced -- so callers can escalate."""
+        if self.rebalancer is None or self.num_workers < 2 \
+                or self._rebalance_pending:
+            return False
+        if not self.rebalancer.imbalanced():
+            return False
+        self._rebalance_pending = True
+        if self.scheduler is not None:
+            self.wake()
+        return True
+
+    def _apply_rebalance(self, now: float) -> bool:
+        """Apply a pending rebalance at quiescence (same discipline as a
+        live worker raise: never re-home a slot under a running
+        command).  Returns False -- after scheduling its own wake-up --
+        while any core is still mid-service."""
+        busy = [w.clock.now() for w in self.workers if w.clock.now() > now]
+        if busy:
+            self._wake_at(max(busy))
+            return False
+        self._rebalance_pending = False
+        if self.rebalancer is not None \
+                and self.rebalancer.apply(now) is not None:
+            self._worker_cache.clear()
+        return True
+
+    @property
+    def rebalances(self) -> List[RebalanceEvent]:
+        return self.rebalancer.events if self.rebalancer is not None \
+            else []
 
     # -- attribution --------------------------------------------------------
 
@@ -499,8 +840,8 @@ class WorkerPool:
 
     def worker_rows(self) -> List[Dict[str, float]]:
         """Per-core attribution: commands, dispatches, busy seconds,
-        attributed AOF/fsync seconds, and mean queueing delay -- the
-        imbalance a hot key causes under the slot % K partition is
+        attributed AOF/fsync seconds, and mean + p99 queueing delay --
+        the imbalance a hot key causes under the slot % K partition is
         visible here.  Live cores only; shed cores keep counting in the
         merged totals."""
         rows = []
@@ -513,5 +854,7 @@ class WorkerPool:
                 "busy_seconds": worker.clock.busy_seconds,
                 "aof_seconds": worker.aof_seconds,
                 "mean_queue_delay": delay.mean() if delay.count else 0.0,
+                "p99_queue_delay":
+                    delay.percentile(99) if delay.count else 0.0,
             })
         return rows

@@ -303,6 +303,15 @@ class ShardClock(Clock):
       as an Art. 17 fan-out occupy the whole shard, and ``now()``
       reports the frontier (max across cores).
 
+    **Per-slot billing**: :meth:`activate` optionally names the hash
+    slot the command belongs to; every ``advance`` charge inside the
+    activation then also accumulates under that slot in
+    :attr:`slot_seconds`, and :meth:`release` returns the activation's
+    billed total.  This is what skew-aware worker placement feeds on --
+    the cost of a hot slot is measured where it is paid, not estimated
+    from request counts.  With ``slot=None`` (the default) the hook is
+    bypassed entirely.
+
     With ``workers=1`` the shard clock is behaviourally identical to the
     single meter it replaces, which is what pins the worker-count-1
     regression tests.
@@ -314,6 +323,9 @@ class ShardClock(Clock):
         self.workers: List[WorkerClock] = [
             WorkerClock(index, start) for index in range(workers)]
         self._active: Optional[WorkerClock] = None
+        self._active_slot: Optional[int] = None
+        self._active_billed = 0.0
+        self.slot_seconds: dict = {}    # slot -> cumulative billed seconds
 
     @property
     def num_workers(self) -> int:
@@ -345,13 +357,24 @@ class ShardClock(Clock):
             worker.idle_until(frontier)
         return retired
 
-    def activate(self, worker: WorkerClock) -> None:
+    def activate(self, worker: WorkerClock,
+                 slot: Optional[int] = None) -> None:
         if self._active is not None:
             raise RuntimeError("shard clock already has an active worker")
         self._active = worker
+        self._active_slot = slot
+        self._active_billed = 0.0
 
-    def release(self) -> None:
+    def release(self) -> float:
+        """End the activation; returns the seconds billed inside it."""
+        billed = self._active_billed
+        if self._active_slot is not None and billed > 0.0:
+            self.slot_seconds[self._active_slot] = \
+                self.slot_seconds.get(self._active_slot, 0.0) + billed
         self._active = None
+        self._active_slot = None
+        self._active_billed = 0.0
+        return billed
 
     def now(self) -> float:
         if self._active is not None:
@@ -361,6 +384,7 @@ class ShardClock(Clock):
     def advance(self, seconds: float) -> None:
         if self._active is not None:
             self._active.advance(seconds)
+            self._active_billed += seconds
             return
         for worker in self.workers:
             worker.advance(seconds)

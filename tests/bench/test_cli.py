@@ -109,5 +109,6 @@ class TestCli:
         assert set(EXPERIMENTS) == {"table1", "figure1", "figure2",
                                     "micro", "ablations", "scaling",
                                     "resharding", "concurrency",
-                                    "workers", "replication",
-                                    "backends", "tiering", "tenancy"}
+                                    "workers", "workers_skew",
+                                    "replication", "backends",
+                                    "tiering", "tenancy"}

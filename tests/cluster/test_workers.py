@@ -15,11 +15,13 @@ from repro.cluster import (
     build_cluster,
     slot_for_key,
 )
+from repro.cluster.slots import SlotPlacement
 from repro.cluster.workers import (
     BARRIER,
     ROUTE_BARRIER,
     ROUTE_CONTROL,
     classify,
+    route_workers,
     worker_for,
 )
 from repro.common.clock import ShardClock, SimClock
@@ -109,6 +111,89 @@ class TestRouting:
             route = classify(request)
             if route != ROUTE_BARRIER:
                 assert worker_for(route, 1) == 0
+
+
+class TestRouteWorkers:
+    def test_static_matches_slot_mod_k(self):
+        route = classify([b"GET", b"user:1"])
+        for count in (1, 2, 4):
+            assert route_workers(route, count) == (route % count,)
+            assert worker_for(route, count) == route % count
+
+    def test_control_and_barrier_tokens(self):
+        assert route_workers(ROUTE_CONTROL, 4) == (0,)
+        assert route_workers(ROUTE_BARRIER, 4) == (BARRIER,)
+
+    def test_classify_tuple_route_is_the_sorted_slot_set(self):
+        keys = [b"alpha", b"beta", b"gamma"]
+        request = [b"MSET"] + [part for key in keys
+                               for part in (key, key)]
+        route = classify(request)
+        assert route == tuple(sorted({slot_for_key(key)
+                                      for key in keys}))
+
+    def test_tuple_route_collapses_or_barriers_per_worker_count(self):
+        # Slots 2 and 6 agree mod 2 and mod 4; 2 and 7 never agree.
+        assert route_workers((2, 6), 2) == (0,)
+        assert route_workers((2, 6), 4) == (2,)
+        assert route_workers((2, 7), 2) == (BARRIER,)
+
+    def test_placement_override_rehomes_and_barriers(self):
+        placement = SlotPlacement(2)
+        placement.assign(2, 1)
+        # Single-key traffic follows the override...
+        assert route_workers(2, 2, placement) == (1,)
+        # ...so a multikey route whose slots used to share a core now
+        # straddles two and degrades to a barrier...
+        assert route_workers((2, 6), 2, placement) == (BARRIER,)
+        # ...while one whose slots are re-homed together rides a core.
+        placement.assign(7, 1)
+        assert route_workers((2, 7), 2, placement) == (1,)
+
+    def test_split_fans_reads_only(self):
+        placement = SlotPlacement(2)
+        placement.split(3, (0, 1))
+        assert route_workers(3, 2, placement, readonly=True) == (0, 1)
+        assert route_workers(3, 2, placement, readonly=False) == (1,)
+
+
+def _key_on_worker(worker, count):
+    """A key whose slot lands on ``worker`` under ``slot % count``."""
+    for number in range(1000):
+        key = f"k{number}"
+        if slot_for_key(key.encode()) % count == worker:
+            return key
+    raise AssertionError("no key found")
+
+
+class TestRouteCacheInvalidation:
+    def test_cached_route_repartitions_after_shed(self):
+        server, (conn, _), pool, _ = make_pool_server(workers=2)
+        key = _key_on_worker(1, 2)
+        conn.call("SET", key, "v")      # warms the resolved-route cache
+        route, readonly = pool.route_memo.classify([b"GET",
+                                                    key.encode()])
+        assert pool._resolve(route, readonly) == (route % 2,)
+        pool.remove_worker()
+        server.scheduler.run_until_idle()
+        # The regression this guards: the cached candidate set must be
+        # dropped with the shed worker, not keep pointing at it.
+        assert pool._resolve(route, readonly) == (0,)
+        conn.replies.clear()
+        assert conn.call("GET", key) == b"v"
+
+    def test_cached_route_repartitions_after_raise(self):
+        server, (conn, _), pool, _ = make_pool_server(workers=1)
+        key = _key_on_worker(1, 2)      # lands on worker 1 once K=2
+        conn.call("SET", key, "v")
+        route, readonly = pool.route_memo.classify([b"GET",
+                                                    key.encode()])
+        assert pool._resolve(route, readonly) == (0,)
+        pool.add_worker()
+        server.scheduler.run_until_idle()
+        assert pool._resolve(route, readonly) == (1,)
+        conn.replies.clear()
+        assert conn.call("GET", key) == b"v"
 
 
 class TestReplyOrderAndBarriers:

@@ -59,6 +59,10 @@ REQUIRED_DOC_CONTENT = {
          "the dispatch rules, stop-the-world barrier semantics for the "
          "GDPR fan-out, the batching controller, and the autoscaler "
          "ladder the workers/autoscale layers are written against"),
+        ("### Skew-aware placement",
+         "the placement-table / rebalance-trigger / split-read "
+         "invariants the skew-aware scheduling layer is written "
+         "against"),
         ("## Multi-tenancy",
          "the namespace / admission-gate / per-tenant-policy / "
          "metering contract the tenancy layer and cluster boundary "
@@ -88,6 +92,12 @@ REQUIRED_DOC_CONTENT = {
          "multi-core knee claim is unverifiable"),
         ("concurrency_workers.txt",
          "the committed workers-vs-ceiling artifact must stay "
+         "documented and regenerable"),
+        ("### Reading `concurrency_workers_skew.txt`",
+         "the skew table needs a reading guide or the placed-vs-static "
+         "zipfian knee claim is unverifiable"),
+        ("concurrency_workers_skew.txt",
+         "the committed skew-vs-placement artifact must stay "
          "documented and regenerable"),
         ("### Reading the `tenancy` output",
          "the admitted/throttled/p99 columns need a reading guide or "
